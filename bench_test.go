@@ -1,0 +1,481 @@
+// Benchmarks regenerating every table/figure of the paper (one bench
+// per artifact, per DESIGN.md §4) plus ablations of the design
+// choices. Custom metrics report the reproduced quantities so that
+// `go test -bench` output doubles as a results table:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dse"
+	img "repro/internal/image"
+	"repro/internal/netlist"
+	"repro/internal/photonic"
+	"repro/internal/stochastic"
+	"repro/internal/transient"
+)
+
+// BenchmarkFig1ReSC exercises the electronic ReSC baseline on the
+// paper's Fig. 1(b) polynomial at x = 0.5 (expected value 0.5).
+func BenchmarkFig1ReSC(b *testing.B) {
+	poly := stochastic.PaperF1()
+	unit, err := stochastic.NewReSCWithSeeds(poly, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, _ = unit.Evaluate(0.5, 1024)
+	}
+	b.ReportMetric(last, "f1(0.5)")
+}
+
+// BenchmarkFig5a regenerates the Fig. 5(a) channel totals.
+func BenchmarkFig5a(b *testing.B) {
+	var f dse.Fig5Case
+	for i := 0; i < b.N; i++ {
+		f = dse.Fig5A()
+	}
+	b.ReportMetric(f.Totals[2], "T(λ2)")
+	b.ReportMetric(f.ReceivedMW, "rx_mW")
+}
+
+// BenchmarkFig5b regenerates the Fig. 5(b) data-'1' level.
+func BenchmarkFig5b(b *testing.B) {
+	var f dse.Fig5Case
+	for i := 0; i < b.N; i++ {
+		f = dse.Fig5B()
+	}
+	b.ReportMetric(f.Totals[0], "T(λ0)")
+	b.ReportMetric(f.ReceivedMW, "rx_mW")
+}
+
+// BenchmarkFig5c enumerates all 24 (x, z) combinations and the
+// de-randomizer bands.
+func BenchmarkFig5c(b *testing.B) {
+	var r dse.Fig5CResult
+	for i := 0; i < b.N; i++ {
+		r = dse.Fig5C()
+	}
+	b.ReportMetric(r.MaxZero, "max0_mW")
+	b.ReportMetric(r.MinOne, "min1_mW")
+}
+
+// BenchmarkMRRFirst runs the §V.A design (pump 591.8 mW, ER
+// 13.22 dB).
+func BenchmarkMRRFirst(b *testing.B) {
+	var p core.Params
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = core.MRRFirst(core.MRRFirstSpec{
+			Order:       2,
+			WLSpacingNM: 1.0,
+			ModShape:    core.Fig5ModulatorShape(),
+			FilterShape: core.Fig5FilterShape(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.PumpPowerMW, "pump_mW")
+	b.ReportMetric(p.MZI.ERdB, "ER_dB")
+}
+
+// BenchmarkFig6a sweeps the IL × ER grid (MZI-first at 0.6 W pump).
+func BenchmarkFig6a(b *testing.B) {
+	var pts []dse.Fig6APoint
+	for i := 0; i < b.N; i++ {
+		pts = dse.Fig6A(4, 4)
+	}
+	// Report the worst corner (max probe power).
+	worst := 0.0
+	for _, p := range pts {
+		if p.Feasible && p.ProbeMW > worst {
+			worst = p.ProbeMW
+		}
+	}
+	b.ReportMetric(worst, "max_probe_mW")
+}
+
+// BenchmarkFig6b sizes the anchor design for the three BER targets.
+func BenchmarkFig6b(b *testing.B) {
+	var pts []dse.Fig6BPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = dse.Fig6B([]float64{1e-2, 1e-4, 1e-6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[2].ProbeMW, "probe@1e-6_mW")
+	b.ReportMetric(pts[0].ProbeMW/pts[2].ProbeMW, "ratio_1e-2/1e-6")
+}
+
+// BenchmarkFig6c sizes the four published devices.
+func BenchmarkFig6c(b *testing.B) {
+	var pts []dse.Fig6CPoint
+	for i := 0; i < b.N; i++ {
+		pts = dse.Fig6C()
+	}
+	for _, p := range pts {
+		if p.Err == nil {
+			b.ReportMetric(p.ProbeMW, "probe_mW_"+p.Device.Name[:4])
+		}
+	}
+}
+
+// BenchmarkFig7a runs the n=2 energy sweep with its optimum.
+func BenchmarkFig7a(b *testing.B) {
+	var series []dse.Fig7ASeries
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = dse.Fig7A([]int{2}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(series[0].Optimum.WLSpacingNM, "opt_nm")
+	b.ReportMetric(series[0].Optimum.TotalPJ(), "opt_pJ")
+}
+
+// BenchmarkFig7b runs the order sweep at 1 nm vs optimal spacing.
+func BenchmarkFig7b(b *testing.B) {
+	var rows []dse.Fig7BRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = dse.Fig7B([]int{2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Fixed1nm.TotalPJ(), "n2@1nm_pJ")
+	b.ReportMetric(rows[1].Fixed1nm.TotalPJ(), "n8@1nm_pJ")
+	b.ReportMetric(rows[0].SavingPct, "saving_pct")
+}
+
+// BenchmarkEnergyPerBit evaluates the headline §V.C energy at the
+// optimal spacing (paper: 20.1 pJ/bit).
+func BenchmarkEnergyPerBit(b *testing.B) {
+	m := core.NewEnergyModel(2)
+	var opt core.EnergyBreakdown
+	var err error
+	for i := 0; i < b.N; i++ {
+		opt, err = m.OptimalSpacing(0.1, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(opt.TotalPJ(), "pJ_per_bit")
+}
+
+// BenchmarkOpticalUnitStep measures the per-bit cost of the cached
+// end-to-end optical unit.
+func BenchmarkOpticalUnitStep(b *testing.B) {
+	c := core.MustCircuit(core.PaperParams())
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	ones := 0
+	for i := 0; i < b.N; i++ {
+		ones += u.Step(0.5, 0).Bit
+	}
+	_ = ones
+}
+
+// BenchmarkGammaCorrection runs the §V.C application on the optical
+// unit (64×64 image, degree 6).
+func BenchmarkGammaCorrection(b *testing.B) {
+	src := img.Radial(64, 64)
+	exact := img.GammaExact(src, 0.45)
+	var psnr float64
+	for i := 0; i < b.N; i++ {
+		out, err := img.GammaOptical(src, 0.45, 6, 0.3, 1024, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		psnr = img.PSNR(exact, out)
+	}
+	b.ReportMetric(psnr, "PSNR_dB")
+}
+
+// BenchmarkTransient measures the noisy time-domain simulator and
+// reports measured-vs-analytic worst-case BER agreement.
+func BenchmarkTransient(b *testing.B) {
+	p := core.PaperParams()
+	p.ProbePowerMW = core.MustCircuit(p).MinProbePowerMW(1e-3)
+	c := core.MustCircuit(p)
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := transient.NewSimulator(u, 6)
+	var measured float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		measured = sim.MeasureWorstCaseBER(100_000)
+	}
+	b.ReportMetric(measured, "BER_measured")
+	b.ReportMetric(sim.AnalyticWorstCaseBER(), "BER_analytic")
+}
+
+// --- Ablations (DESIGN.md §7) ---
+
+// BenchmarkAblationWorstCaseSNR compares Eq. (8)'s one-hot crosstalk
+// margin against the exhaustive worst-case-over-z margin.
+func BenchmarkAblationWorstCaseSNR(b *testing.B) {
+	c := core.MustCircuit(core.PaperParams())
+	var eq8, full float64
+	for i := 0; i < b.N; i++ {
+		eq8, _ = c.WorstCaseDelta()
+		full = c.WorstCaseDeltaOverZ()
+	}
+	b.ReportMetric(eq8, "eq8_margin")
+	b.ReportMetric(full, "exhaustive_margin")
+}
+
+// BenchmarkAblationPulseVsCW quantifies the 26 ps pulse-based pump's
+// energy advantage (§V.C).
+func BenchmarkAblationPulseVsCW(b *testing.B) {
+	p, err := core.MRRFirst(core.MRRFirstSpec{Order: 2, WLSpacingNM: 0.165})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pulsed, cw core.EnergyBreakdown
+	for i := 0; i < b.N; i++ {
+		pulsed = core.ParamsEnergy(p)
+		q := p
+		q.PulseWidthS = 0
+		cw = core.ParamsEnergy(q)
+	}
+	b.ReportMetric(pulsed.TotalPJ(), "pulsed_pJ")
+	b.ReportMetric(cw.TotalPJ(), "cw_pJ")
+}
+
+// BenchmarkAblationSNG compares randomizer implementations (LFSR vs
+// chaotic vs SplitMix64) by ReSC accuracy at equal stream length —
+// the paper's future-work item iii considers chaotic lasers as
+// optical randomizers.
+func BenchmarkAblationSNG(b *testing.B) {
+	poly := stochastic.PaperF1()
+	build := func(mk func(i int) stochastic.NumberSource) *stochastic.ReSC {
+		data := make([]stochastic.NumberSource, 3)
+		for i := range data {
+			data[i] = mk(i)
+		}
+		coef := make([]stochastic.NumberSource, 4)
+		for i := range coef {
+			coef[i] = mk(10 + i)
+		}
+		r, err := stochastic.NewReSC(poly, data, coef)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	sources := map[string]func(i int) stochastic.NumberSource{
+		"lfsr": func(i int) stochastic.NumberSource {
+			return stochastic.MustLFSR(16, uint64(0xACE1+i*7919))
+		},
+		"chaotic": func(i int) stochastic.NumberSource {
+			return stochastic.NewChaoticSource(0.1 + 0.05*float64(i))
+		},
+		"splitmix": func(i int) stochastic.NumberSource {
+			return stochastic.NewSplitMix64(uint64(1 + i))
+		},
+	}
+	want := poly.Eval(0.5)
+	for name, mk := range sources {
+		var errAbs float64
+		for i := 0; i < b.N; i++ {
+			r := build(mk)
+			got, _ := r.Evaluate(0.5, 4096)
+			errAbs = math.Abs(got - want)
+		}
+		b.ReportMetric(errAbs, "abs_err_"+name)
+	}
+}
+
+// BenchmarkAblationAPD compares the calibrated pin detector against
+// the future-work APD [21] at the same BER target.
+func BenchmarkAblationAPD(b *testing.B) {
+	var rows []dse.APDComparisonRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = dse.APDComparison(1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ProbeMW, "pin_probe_mW")
+	b.ReportMetric(rows[1].ProbeMW, "apd_probe_mW")
+}
+
+// BenchmarkAblationRingLinewidth reports how the Fig. 7 optimum moves
+// with the (unpublished) filter linewidth.
+func BenchmarkAblationRingLinewidth(b *testing.B) {
+	var rows []dse.RingSensitivityRow
+	for i := 0; i < b.N; i++ {
+		rows = dse.RingSensitivity([]float64{0.75, 1.0, 1.5})
+	}
+	for _, r := range rows {
+		if r.Feasible {
+			b.ReportMetric(r.OptSpacingNM, fmt.Sprintf("opt_nm@%.2fx", r.FWHMScale))
+		}
+	}
+}
+
+// BenchmarkSyncSweep measures the pulse-synchronization study (§V.D).
+func BenchmarkSyncSweep(b *testing.B) {
+	p := core.PaperParams()
+	c := core.MustCircuit(p)
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := transient.NewSimulator(u, 6)
+	var pts []transient.SyncPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts = sim.SyncSweep(16, 10_000)
+	}
+	b.ReportMetric(transient.WorstInPulseBER(pts), "BER_gated")
+	b.ReportMetric(transient.WorstOutOfPulseBER(pts), "BER_ungated")
+}
+
+// BenchmarkCalibrationLoop measures the future-work (i) control loop:
+// steady-state misalignment under ±5 K drift.
+func BenchmarkCalibrationLoop(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		env, err := control.NewThermalEnvironment(5, 1e-3, 0.02, uint64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		heater, err := control.NewHeater(0.25, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		target := 1550.1
+		ring := control.NewDriftedRing(target-0.5, env, heater)
+		mon, err := control.NewMonitor(0.05, 1e-5, uint64(43+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		loop, err := control.NewLoop(ring, core.DenseFilterShape().At(ring.ColdResonanceNM), target, 1.0, mon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples := loop.Run(2000)
+		worst = 0
+		for _, s := range samples[1000:] {
+			if a := math.Abs(s.MisalignNM); a > worst {
+				worst = a
+			}
+		}
+	}
+	b.ReportMetric(worst, "locked_nm")
+}
+
+// BenchmarkParallelArray measures the multi-lane batch evaluator.
+func BenchmarkParallelArray(b *testing.B) {
+	c := core.MustCircuit(core.PaperParams())
+	poly := stochastic.NewBernstein([]float64{0.25, 0.625, 0.75})
+	arr, err := core.NewParallelArray(c, poly, 4, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i) / 31
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.EvaluateBatch(xs, 1024)
+	}
+	b.ReportMetric(arr.PowerDensityMWPerMM2(), "mW_per_mm2")
+}
+
+// BenchmarkYield runs the Monte-Carlo process-variation analysis.
+func BenchmarkYield(b *testing.B) {
+	p := core.PaperParams()
+	var r core.YieldResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = core.AnalyzeYield(p, core.VariationSpec{
+			RingResonanceSigmaNM: 0.05,
+			Samples:              100,
+			Seed:                 7,
+			TargetBER:            1e-6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Yield, "yield")
+}
+
+// BenchmarkNetlistElaborate measures deck parsing plus elaboration.
+func BenchmarkNetlistElaborate(b *testing.B) {
+	deck := "order 2\npoly 0.25 0.625 0.75\nprobe 1.0\n"
+	for i := 0; i < b.N; i++ {
+		d, err := netlist.Parse(strings.NewReader(deck))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netlist.Elaborate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhotonicVsBehavioral compares the complex-field ring
+// against the closed-form Eq. (2) evaluation cost.
+func BenchmarkPhotonicVsBehavioral(b *testing.B) {
+	ring, err := photonic.NewRing(0.96, 0.97, 0.999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := core.DenseFilterShape().At(1550)
+	var s float64
+	b.Run("field", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s += ring.ThroughIntensity(0.01)
+		}
+	})
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s += ref.Through(1550.02, 1550)
+		}
+	})
+	_ = s
+}
+
+// BenchmarkAblationSpacing compares the fixed 1 nm comb of §V.A
+// against the Fig. 7 optimum.
+func BenchmarkAblationSpacing(b *testing.B) {
+	m := core.NewEnergyModel(2)
+	var fixed, opt core.EnergyBreakdown
+	var err error
+	for i := 0; i < b.N; i++ {
+		fixed, err = m.Breakdown(1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err = m.OptimalSpacing(0.1, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fixed.TotalPJ(), "fixed1nm_pJ")
+	b.ReportMetric(opt.TotalPJ(), "optimal_pJ")
+}

@@ -1,0 +1,227 @@
+// Command oscbench regenerates the evaluation figures of "Stochastic
+// Computing with Integrated Optics" (DATE 2019) as text tables.
+//
+// Usage:
+//
+//	oscbench -fig all          # every figure and the anchor summary
+//	oscbench -fig 5a|5b|5c     # Fig. 5 worked examples and bands
+//	oscbench -fig 6a|6b|6c     # probe-power design-space studies
+//	oscbench -fig 7a|7b        # energy studies
+//	oscbench -fig summary      # in-text anchors, paper vs measured
+//	oscbench -fig tradeoff     # throughput-accuracy extension (§V.B)
+//	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/stochastic"
+	"repro/internal/transient"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, ablation, all")
+	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a)")
+	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a)")
+	flag.Parse()
+
+	if err := run(*fig, *gridN, *sweepN); err != nil {
+		fmt.Fprintln(os.Stderr, "oscbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, gridN, sweepN int) error {
+	w := os.Stdout
+	section := func(name string) { fmt.Fprintf(w, "\n==== %s ====\n\n", name) }
+
+	want := func(name string) bool { return fig == "all" || fig == name }
+
+	any := false
+	if want("5a") {
+		any = true
+		section("Fig 5(a)")
+		if err := dse.RenderFig5Case(w, dse.Fig5A()); err != nil {
+			return err
+		}
+	}
+	if want("5b") {
+		any = true
+		section("Fig 5(b)")
+		if err := dse.RenderFig5Case(w, dse.Fig5B()); err != nil {
+			return err
+		}
+	}
+	if want("5c") {
+		any = true
+		section("Fig 5(c)")
+		if err := dse.RenderFig5C(w, dse.Fig5C()); err != nil {
+			return err
+		}
+	}
+	if want("6a") {
+		any = true
+		section("Fig 6(a)")
+		if err := dse.RenderFig6A(w, dse.Fig6A(gridN, gridN)); err != nil {
+			return err
+		}
+	}
+	if want("6b") {
+		any = true
+		section("Fig 6(b)")
+		pts, err := dse.Fig6B([]float64{1e-2, 1e-4, 1e-6})
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderFig6B(w, pts); err != nil {
+			return err
+		}
+	}
+	if want("6c") {
+		any = true
+		section("Fig 6(c)")
+		if err := dse.RenderFig6C(w, dse.Fig6C()); err != nil {
+			return err
+		}
+	}
+	if want("7a") {
+		any = true
+		section("Fig 7(a)")
+		series, err := dse.Fig7A([]int{2, 4, 6}, sweepN)
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderFig7A(w, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nn=2 curves (chart):")
+		chartPts := core.NewEnergyModel(2).Sweep(0.11, 0.3, 48)
+		if err := dse.RenderEnergyChartASCII(w, chartPts, 96, 18, 70); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		profile, err := dse.ApplicationProfile()
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderApplicationProfile(w, profile); err != nil {
+			return err
+		}
+	}
+	if want("7b") {
+		any = true
+		section("Fig 7(b)")
+		rows, err := dse.Fig7B([]int{2, 4, 8, 12, 16})
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderFig7B(w, rows); err != nil {
+			return err
+		}
+	}
+	if want("summary") {
+		any = true
+		section("Summary")
+		s, err := dse.Summary()
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderSummary(w, s); err != nil {
+			return err
+		}
+	}
+	if want("tradeoff") {
+		any = true
+		section("Throughput-accuracy trade-off (§V.B extension)")
+		if err := renderTradeoff(w); err != nil {
+			return err
+		}
+	}
+	if want("ablation") {
+		any = true
+		section("Ablations")
+		if err := dse.RenderRingSensitivity(w, dse.RingSensitivity([]float64{0.75, 1.0, 1.25, 1.5})); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		rows, err := dse.APDComparison(1e-6)
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderAPDComparison(w, rows, 1e-6); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ps, err := dse.ParallelScaling([]int{1, 4, 16, 64}, 256)
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderParallelScaling(w, ps, 256); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := core.MustCircuit(core.PaperParams()).ComputeLinkBudget().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := renderYield(w); err != nil {
+			return err
+		}
+	}
+	if !any {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func renderYield(w *os.File) error {
+	fmt.Fprintln(w, "Monte-Carlo process variation (ring resonance σ, 200 dies, BER target 1e-6):")
+	p := core.PaperParams()
+	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
+	for _, sigma := range []float64{0.01, 0.05, 0.1, 0.2} {
+		r, err := core.AnalyzeYield(p, core.VariationSpec{
+			RingResonanceSigmaNM: sigma,
+			Samples:              200,
+			Seed:                 99,
+			TargetBER:            1e-6,
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", sigma),
+			fmt.Sprintf("%.1f%%", r.Yield*100),
+			fmt.Sprintf("%.4f", r.MeanEyeMW),
+			fmt.Sprintf("%.3g", r.WorstBER),
+		)
+	}
+	return t.Render(w)
+}
+
+func renderTradeoff(w *os.File) error {
+	// Size the paper circuit for a deliberately noisy 1e-2 link, then
+	// show RMSE vs stream length with the implied throughput.
+	p := core.PaperParams()
+	p.ProbePowerMW = core.MustCircuit(p).MinProbePowerMW(1e-2)
+	c, err := core.NewCircuit(p)
+	if err != nil {
+		return err
+	}
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 7)
+	if err != nil {
+		return err
+	}
+	sim := transient.NewSimulator(u, 8)
+	fmt.Fprintf(w, "probe sized for BER 1e-2: %.4f mW; analytic worst-case BER %.2e\n\n",
+		p.ProbePowerMW, sim.AnalyticWorstCaseBER())
+	pts := sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096, 16384}, 30)
+	t := dse.NewTable("stream length", "RMSE", "results/s @1 Gb/s")
+	for _, pt := range pts {
+		t.AddRow(fmt.Sprint(pt.StreamLen), fmt.Sprintf("%.4f", pt.RMSE), fmt.Sprintf("%.3g", pt.ThroughputResultsPerSec))
+	}
+	return t.Render(w)
+}

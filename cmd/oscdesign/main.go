@@ -1,0 +1,100 @@
+// Command oscdesign runs the paper's design-space-exploration methods
+// (§IV.B) from the command line and prints the sized parameter set.
+//
+// Usage:
+//
+//	oscdesign -method mrr-first -order 2 -spacing 1.0 -il 4.5 -ber 1e-6
+//	oscdesign -method mzi-first -order 2 -il 6.5 -er 7.5 -pump 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/optics"
+)
+
+func main() {
+	method := flag.String("method", "mrr-first", "design method: mrr-first or mzi-first")
+	order := flag.Int("order", 2, "polynomial degree n")
+	spacing := flag.Float64("spacing", 1.0, "wavelength spacing in nm (mrr-first)")
+	il := flag.Float64("il", 4.5, "MZI insertion loss in dB")
+	er := flag.Float64("er", 7.5, "MZI extinction ratio in dB (mzi-first)")
+	pump := flag.Float64("pump", 600, "pump laser power in mW (mzi-first)")
+	ber := flag.Float64("ber", 1e-6, "target bit-error rate")
+	fig5 := flag.Bool("fig5rings", false, "use the Fig 5 ring calibration instead of the dense preset")
+	save := flag.String("save", "", "write the sized design as JSON to this path")
+	load := flag.String("load", "", "skip sizing; report a previously saved design")
+	flag.Parse()
+
+	var p core.Params
+	var err error
+	if *load != "" {
+		p, err = core.LoadParamsFile(*load)
+	} else {
+		p, err = design(*method, *order, *spacing, *il, *er, *pump, *ber, *fig5)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oscdesign:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		if err := core.SaveParamsFile(*save, p); err != nil {
+			fmt.Fprintln(os.Stderr, "oscdesign:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved design to %s\n", *save)
+	}
+	report(p)
+}
+
+func design(method string, order int, spacing, il, er, pump, ber float64, fig5 bool) (core.Params, error) {
+	switch method {
+	case "mrr-first":
+		spec := core.MRRFirstSpec{
+			Order:       order,
+			WLSpacingNM: spacing,
+			MZIILdB:     il,
+			TargetBER:   ber,
+		}
+		if fig5 {
+			spec.ModShape = core.Fig5ModulatorShape()
+			spec.FilterShape = core.Fig5FilterShape()
+		}
+		return core.MRRFirst(spec)
+	case "mzi-first":
+		spec := core.MZIFirstSpec{
+			Order:       order,
+			MZI:         optics.MZI{ILdB: il, ERdB: er},
+			PumpPowerMW: pump,
+			TargetBER:   ber,
+		}
+		if fig5 {
+			spec.ModShape = core.Fig5ModulatorShape()
+			spec.FilterShape = core.Fig5FilterShape()
+		}
+		return core.MZIFirst(spec)
+	default:
+		return core.Params{}, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func report(p core.Params) {
+	c := core.MustCircuit(p)
+	fmt.Printf("order:            %d\n", p.Order)
+	fmt.Printf("wavelengths:      λ0..λ%d = %.3f..%.3f nm (spacing %.4f nm)\n",
+		p.Order, p.Lambda(0), p.LambdaMaxNM, p.WLSpacingNM)
+	fmt.Printf("filter:           λref = %.4f nm (offset %.4f nm)\n", p.LambdaRefNM(), p.FilterOffsetNM)
+	fmt.Printf("MZI:              IL %.2f dB, ER %.2f dB\n", p.MZI.ILdB, p.MZI.ERdB)
+	fmt.Printf("pump laser:       %.2f mW\n", p.PumpPowerMW)
+	fmt.Printf("probe lasers:     %d × %.4f mW\n", p.Order+1, p.ProbePowerMW)
+	fmt.Printf("worst-case BER:   %.3e\n", c.BER())
+	fmt.Printf("alignment error:  %.2e nm\n", c.AlignmentErrorNM())
+	minZ, maxZ, minO, maxO := c.PowerBands()
+	fmt.Printf("received bands:   '0' %.4f-%.4f mW, '1' %.4f-%.4f mW\n", minZ, maxZ, minO, maxO)
+	e := core.ParamsEnergy(p)
+	fmt.Printf("energy:           pump %.2f pJ + probe %.2f pJ = %.2f pJ/bit\n",
+		e.PumpPJ, e.ProbePJ, e.TotalPJ())
+}

@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of H. El-Derhalli,
+// S. Le Beux and S. Tahar, "Stochastic Computing with Integrated
+// Optics", DATE 2019.
+//
+// The implementation lives in internal/ packages:
+//
+//   - internal/numeric — numerical substrate (special functions,
+//     minimization, linear algebra, Bernstein bases);
+//   - internal/optics — silicon-photonic device models (MZI, micro-
+//     ring resonators, TPA tuning, lasers, photodetector);
+//   - internal/stochastic — stochastic-computing substrate and the
+//     electronic ReSC baseline of the paper's Fig. 1;
+//   - internal/core — the optical SC architecture: transmission model
+//     (Eqs. 5–7), SNR/BER (Eqs. 8–9), MRR-first and MZI-first design
+//     methods, the pulsed-pump energy model and a reconfigurable
+//     multi-order variant;
+//   - internal/transient — time-domain simulation with detector
+//     noise (the paper's future-work item ii);
+//   - internal/dse — regeneration of every evaluation figure;
+//   - internal/image — the gamma-correction application workload.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// the per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate one figure or
+// in-text claim each.
+package repro

@@ -1,0 +1,46 @@
+// Edgedetect: the second classic error-tolerant image workload of
+// stochastic computing — Robert's-cross edge detection built from two
+// correlated-XOR absolute-difference gates and an averaging
+// multiplexer. Demonstrates the SC gate library on streams and the
+// noise robustness SC is prized for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	img "repro/internal/image"
+)
+
+func main() {
+	const stream = 2048
+
+	src := img.Checkerboard(64, 64, 8, 30, 220)
+	exact := img.RobertsCrossExact(src)
+	sc := img.RobertsCrossSC(src, stream, 7)
+
+	fmt.Printf("Robert's cross on a 64x64 checkerboard (%d-bit streams)\n", stream)
+	fmt.Printf("SC vs exact: PSNR %.2f dB, MAE %.2f gray levels\n",
+		img.PSNR(exact, sc), img.MeanAbsoluteError(exact, sc))
+
+	// Edges fire, flats stay dark.
+	fmt.Printf("response on an edge pixel:  exact %3d, SC %3d\n", exact.At(7, 2), sc.At(7, 2))
+	fmt.Printf("response on a flat pixel:   exact %3d, SC %3d\n", exact.At(3, 3), sc.At(3, 3))
+
+	for name, im := range map[string]*img.Gray{
+		"edges_input.pgm": src,
+		"edges_exact.pgm": exact,
+		"edges_sc.pgm":    sc,
+	} {
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := im.WritePGM(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	fmt.Println("wrote edges_{input,exact,sc}.pgm")
+}

@@ -1,0 +1,23 @@
+// Package control implements the paper's future-work item (i): a
+// feedback-loop control circuit for monitoring and calibrating the
+// optical stochastic-computing circuit.
+//
+// Micro-ring resonances drift with temperature (silicon rings move by
+// roughly +10 pm/K), which would misalign the multiplexing filter
+// from the probe comb and collapse the received-power eye. The
+// package models:
+//
+//   - a thermal environment (ambient drift plus self-heating) acting
+//     on a ring resonance;
+//   - a monitor photodiode tapping a small fraction of the filter's
+//     drop port during calibration probes;
+//   - an integral (dither-and-lock) controller driving a resistive
+//     heater that counter-shifts the resonance;
+//   - a closed-loop calibration session returning the residual
+//     misalignment over time.
+//
+// The controller is deliberately simple — the paper only sketches the
+// need for "monitoring and voltage/thermal tuning for device
+// calibration" and an energy–area trade-off; Loop.EnergyPJ accounts
+// the heater energy so that trade-off can be explored.
+package control

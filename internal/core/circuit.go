@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/optics"
+)
+
+// Circuit is an instantiated optical SC unit: the modulator rings
+// parked on the probe comb, the add-drop filter, and the MZI adder
+// bank (paper Fig. 4a).
+type Circuit struct {
+	P Params
+	// Modulators[i] is the coefficient modulator ring for channel i,
+	// cold-resonant at λ_i.
+	Modulators []optics.Ring
+	// Filter is the all-optical multiplexer, cold-resonant at λref.
+	Filter optics.Ring
+	// Bank is the pump adder: n identical MZIs.
+	Bank *optics.MZIBank
+}
+
+// NewCircuit validates p and instantiates the devices.
+func NewCircuit(p Params) (*Circuit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Circuit{P: p}
+	c.Modulators = make([]optics.Ring, p.Order+1)
+	for i := range c.Modulators {
+		c.Modulators[i] = p.ModShape.At(p.Lambda(i))
+	}
+	c.Filter = p.FilterShape.At(p.LambdaRefNM())
+	c.Bank = optics.NewUniformMZIBank(p.Order, p.MZI)
+	return c, nil
+}
+
+// MustCircuit panics on invalid parameters; for use with the
+// calibrated presets.
+func MustCircuit(p Params) *Circuit {
+	c, err := NewCircuit(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Order returns the polynomial degree n.
+func (c *Circuit) Order() int { return c.P.Order }
+
+// FilterShiftNM returns ΔFilter(x) of Eq. (7a) for a data vector
+// given by its Hamming weight (the shift depends on x only through
+// the number of ones).
+func (c *Circuit) FilterShiftNM(weight int) float64 {
+	ctrl := c.P.PumpPowerMW * c.Bank.TransmissionByWeight(weight)
+	return c.P.OTE.ShiftNM(ctrl)
+}
+
+// FilterResonanceNM returns the filter's instantaneous resonance for
+// a data weight: λref − ΔFilter.
+func (c *Circuit) FilterResonanceNM(weight int) float64 {
+	return c.P.LambdaRefNM() - c.FilterShiftNM(weight)
+}
+
+// SelectedChannel returns the probe channel index the data weight is
+// intended to route to the output: channel i = weight, matching the
+// ReSC multiplexer semantics (weight w of ones selects coefficient
+// z_w). With a design-method-derived pump power and extinction ratio
+// the filter resonance lands exactly on λ_weight.
+func (c *Circuit) SelectedChannel(weight int) int { return weight }
+
+// modResonance returns the instantaneous resonance of modulator w for
+// coefficient bit z: the ON state ('1') blue-shifts by Δλ.
+func (c *Circuit) modResonance(w, z int) float64 {
+	res := c.Modulators[w].ResonanceNM
+	if z != 0 {
+		res -= c.P.DeltaLambdaNM
+	}
+	return res
+}
+
+// ProbeTransmission returns T_{s,z}[i] of Eq. (6): the end-to-end
+// power transmission of probe i through all n+1 modulator rings (each
+// detuned according to its coefficient bit) and the filter shifted by
+// dFilterNM:
+//
+//	T = Π_w φt(λ_i, λ_w − Δλ·z_w) · φd(λ_i, λref − ΔFilter)
+//
+// z must hold n+1 coefficient bits.
+func (c *Circuit) ProbeTransmission(i int, z []int, dFilterNM float64) float64 {
+	if len(z) != len(c.Modulators) {
+		panic(fmt.Sprintf("core: %d coefficient bits for order %d", len(z), c.P.Order))
+	}
+	lam := c.P.Lambda(i)
+	t := 1.0
+	for w, ring := range c.Modulators {
+		t *= ring.Through(lam, c.modResonance(w, z[w]))
+	}
+	return t * c.Filter.Drop(lam, c.P.LambdaRefNM()-dFilterNM)
+}
+
+// ReceivedPowerMW returns the total optical power at the
+// photodetector for data weight and coefficient bits z: the sum of
+// every probe laser's power times its end-to-end transmission. This
+// is the quantity plotted in the paper's Fig. 5(c).
+func (c *Circuit) ReceivedPowerMW(weight int, z []int) float64 {
+	d := c.FilterShiftNM(weight)
+	sum := 0.0
+	for i := range c.Modulators {
+		sum += c.P.ProbePowerMW * c.ProbeTransmission(i, z, d)
+	}
+	return sum
+}
+
+// ChannelTotals returns the per-channel total transmissions for a
+// given data weight and coefficient bits — the numbers the paper
+// quotes for Fig. 5(a)/(b) (e.g. 0.091 / 0.004 / 0.0002).
+func (c *Circuit) ChannelTotals(weight int, z []int) []float64 {
+	d := c.FilterShiftNM(weight)
+	out := make([]float64, len(c.Modulators))
+	for i := range out {
+		out[i] = c.ProbeTransmission(i, z, d)
+	}
+	return out
+}
+
+// PowerBands enumerates every (weight, z) combination and returns the
+// received-power extrema grouped by the transmitted bit (the selected
+// coefficient's value): the '0' band [minZero, maxZero] and the '1'
+// band [minOne, maxOne]. These bands are the optical de-randomizer's
+// decision levels (Fig. 5c). Exhaustive over 2^(n+1) coefficient
+// patterns; practical for n ≤ 16.
+func (c *Circuit) PowerBands() (minZero, maxZero, minOne, maxOne float64) {
+	n := c.P.Order
+	first0, first1 := true, true
+	z := make([]int, n+1)
+	for pattern := 0; pattern < 1<<(n+1); pattern++ {
+		for b := range z {
+			z[b] = (pattern >> b) & 1
+		}
+		for weight := 0; weight <= n; weight++ {
+			p := c.ReceivedPowerMW(weight, z)
+			if z[c.SelectedChannel(weight)] == 0 {
+				if first0 || p < minZero {
+					minZero = p
+				}
+				if first0 || p > maxZero {
+					maxZero = p
+				}
+				first0 = false
+			} else {
+				if first1 || p < minOne {
+					minOne = p
+				}
+				if first1 || p > maxOne {
+					maxOne = p
+				}
+				first1 = false
+			}
+		}
+	}
+	return minZero, maxZero, minOne, maxOne
+}
+
+// Decider returns the OOK threshold placed midway between the worst
+// '0' and worst '1' received powers.
+func (c *Circuit) Decider() optics.OOKDecider {
+	_, maxZero, minOne, _ := c.PowerBands()
+	return optics.NewMidpointDecider(maxZero, minOne)
+}
+
+// EyeOpeningMW returns the worst-case separation between the '1' and
+// '0' received-power bands. Non-positive means the circuit cannot
+// distinguish the data levels at any laser power.
+func (c *Circuit) EyeOpeningMW() float64 {
+	_, maxZero, minOne, _ := c.PowerBands()
+	return optics.EyeOpeningMW(maxZero, minOne)
+}

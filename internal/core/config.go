@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Params serialization: experiment configurations round-trip through
+// JSON so that a sized design can be archived next to its results and
+// reloaded bit-exactly (cmd/oscdesign's -save/-load flags).
+
+// SaveParams writes p as indented JSON.
+func SaveParams(w io.Writer, p Params) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadParams reads and validates a JSON parameter set.
+func LoadParams(r io.Reader) (Params, error) {
+	var p Params
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Params{}, fmt.Errorf("core: decoding params: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// SaveParamsFile and LoadParamsFile are the path-based conveniences.
+func SaveParamsFile(path string, p Params) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveParams(f, p)
+}
+
+// LoadParamsFile reads a parameter file.
+func LoadParamsFile(path string) (Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Params{}, err
+	}
+	defer f.Close()
+	return LoadParams(f)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := PaperParams()
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("round trip changed params:\n%+v\nvs\n%+v", back, p)
+	}
+	// The reloaded design reproduces the same physics.
+	c1, c2 := MustCircuit(p), MustCircuit(back)
+	if math.Abs(c1.BER()-c2.BER()) > 1e-30 && c1.BER() != c2.BER() {
+		t.Error("reloaded circuit differs")
+	}
+}
+
+func TestLoadParamsRejectsInvalid(t *testing.T) {
+	// Structurally valid JSON, physically invalid params.
+	bad := `{"Order": 0}`
+	if _, err := LoadParams(strings.NewReader(bad)); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Unknown fields are typos, not extensions.
+	unk := `{"Order": 2, "Typo": 1}`
+	if _, err := LoadParams(strings.NewReader(unk)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// Garbage.
+	if _, err := LoadParams(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestParamsFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "design.json")
+	p := PaperParams()
+	if err := SaveParamsFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadParamsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Error("file round trip changed params")
+	}
+	if _, err := LoadParamsFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("file not written: %v", err)
+	}
+}

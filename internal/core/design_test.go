@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/optics"
+)
+
+func TestMRRFirstPaperAnchors(t *testing.T) {
+	// §V.A with the Fig. 5 rings: 1 nm spacing, λ2 = 1550 nm,
+	// λref = 1550.1 nm, IL = 4.5 dB → pump 591.8 mW, ER 13.22 dB.
+	p, err := MRRFirst(MRRFirstSpec{
+		Order:       2,
+		WLSpacingNM: 1.0,
+		ModShape:    Fig5ModulatorShape(),
+		FilterShape: Fig5FilterShape(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.PumpPowerMW-591.8) > 0.5 {
+		t.Errorf("pump = %g mW, paper 591.8", p.PumpPowerMW)
+	}
+	if math.Abs(p.MZI.ERdB-13.22) > 0.05 {
+		t.Errorf("ER = %g dB, paper 13.22", p.MZI.ERdB)
+	}
+	if p.ProbePowerMW <= 0 || math.IsInf(p.ProbePowerMW, 1) {
+		t.Errorf("probe = %g mW", p.ProbePowerMW)
+	}
+	// The designed circuit is exactly aligned.
+	if got := MustCircuit(p).AlignmentErrorNM(); got > 1e-3 {
+		t.Errorf("alignment error = %g nm", got)
+	}
+}
+
+func TestMRRFirstDefaults(t *testing.T) {
+	p, err := MRRFirst(MRRFirstSpec{Order: 2, WLSpacingNM: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LambdaMaxNM != optics.CBandCenterNM {
+		t.Errorf("default λn = %g", p.LambdaMaxNM)
+	}
+	if p.FilterOffsetNM != 0.1 || p.DeltaLambdaNM != 0.1 {
+		t.Errorf("default offsets = %g, %g", p.FilterOffsetNM, p.DeltaLambdaNM)
+	}
+	if p.MZI.ILdB != 4.5 {
+		t.Errorf("default IL = %g", p.MZI.ILdB)
+	}
+	if p.BitRateGbps != 1 || p.PulseWidthS != optics.PaperPulseWidthS || p.LasingEfficiency != 0.2 {
+		t.Error("paper §V.C defaults not applied")
+	}
+}
+
+func TestMRRFirstErrors(t *testing.T) {
+	if _, err := MRRFirst(MRRFirstSpec{Order: 0, WLSpacingNM: 1}); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := MRRFirst(MRRFirstSpec{Order: 2, WLSpacingNM: -1}); err == nil {
+		t.Error("negative spacing accepted")
+	}
+	// A spacing far below the ring linewidth closes the eye.
+	if _, err := MRRFirst(MRRFirstSpec{Order: 2, WLSpacingNM: 0.02}); err == nil {
+		t.Error("collapsed comb accepted")
+	}
+}
+
+func TestMZIFirstXiaoAnchor(t *testing.T) {
+	// §V.B: Xiao et al. (IL 6.5 dB, ER 7.5 dB) at 0.6 W pump and
+	// 1e-6 BER → 0.26 mW probe. The derived spacing follows the
+	// closed form OPpump·OTE·IL%·(1−ER%)/n ≈ 0.552 nm.
+	p, err := MZIFirst(MZIFirstSpec{
+		Order:       2,
+		MZI:         optics.MZI{ILdB: 6.5, ERdB: 7.5},
+		PumpPowerMW: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := optics.LossToLinear(6.5)
+	er := optics.ExtinctionToLinear(7.5)
+	wantSpacing := 600 * 0.01 * il * (1 - er) / 2
+	if math.Abs(p.WLSpacingNM-wantSpacing) > 1e-9 {
+		t.Errorf("spacing = %g, closed form %g", p.WLSpacingNM, wantSpacing)
+	}
+	if math.Abs(p.ProbePowerMW-0.26) > 0.005 {
+		t.Errorf("probe = %g mW, paper 0.26", p.ProbePowerMW)
+	}
+	// Comb alignment holds by construction.
+	if got := MustCircuit(p).AlignmentErrorNM(); got > 1e-3 {
+		t.Errorf("alignment error = %g nm", got)
+	}
+}
+
+func TestMZIFirstTrends(t *testing.T) {
+	// §V.B: probe power rises as IL increases and as ER decreases.
+	base := MZIFirstSpec{Order: 2, PumpPowerMW: 600}
+	probe := func(il, er float64) float64 {
+		s := base
+		s.MZI = optics.MZI{ILdB: il, ERdB: er}
+		p, err := MZIFirst(s)
+		if err != nil {
+			t.Fatalf("IL=%g ER=%g: %v", il, er, err)
+		}
+		return p.ProbePowerMW
+	}
+	if !(probe(7.0, 6.0) > probe(4.0, 6.0)) {
+		t.Error("probe power did not rise with IL")
+	}
+	if !(probe(5.0, 4.5) > probe(5.0, 7.5)) {
+		t.Error("probe power did not rise as ER fell")
+	}
+}
+
+func TestMZIFirstErrors(t *testing.T) {
+	dev := optics.MZI{ILdB: 5, ERdB: 6}
+	if _, err := MZIFirst(MZIFirstSpec{Order: 0, MZI: dev, PumpPowerMW: 600}); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := MZIFirst(MZIFirstSpec{Order: 2, MZI: dev, PumpPowerMW: 0}); err == nil {
+		t.Error("zero pump accepted")
+	}
+	if _, err := MZIFirst(MZIFirstSpec{Order: 2, MZI: optics.MZI{ILdB: -1}, PumpPowerMW: 600}); err == nil {
+		t.Error("invalid MZI accepted")
+	}
+	// Tiny pump power → comb tighter than the ring linewidth → eye
+	// closed.
+	if _, err := MZIFirst(MZIFirstSpec{Order: 2, MZI: dev, PumpPowerMW: 5}); err == nil {
+		t.Error("collapsed comb accepted")
+	}
+}
+
+func TestMZIFirstCombUniformity(t *testing.T) {
+	p, err := MZIFirst(MZIFirstSpec{Order: 4, MZI: optics.MZI{ILdB: 5, ERdB: 6}, PumpPowerMW: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := p.Lambdas()
+	for i := 1; i < len(ls); i++ {
+		if math.Abs((ls[i]-ls[i-1])-p.WLSpacingNM) > 1e-9 {
+			t.Errorf("comb not uniform at %d: %g", i, ls[i]-ls[i-1])
+		}
+	}
+	// Every data weight lands on its channel.
+	if got := MustCircuit(p).AlignmentErrorNM(); got > 1e-3 {
+		t.Errorf("alignment error = %g nm", got)
+	}
+}
+
+func TestRequiredStreamLength(t *testing.T) {
+	// Perfect channel, 1/32 RMS target: 0.25/eps^2 = 256.
+	if got := RequiredStreamLength(1.0/32, 0); got != 256 {
+		t.Errorf("L(1/32, 0) = %d, want 256", got)
+	}
+	// A noisy channel needs more bits. (0.25/eps² = 1024 exactly, so
+	// any extra BER variance crosses the power-of-two boundary.)
+	clean := RequiredStreamLength(1.0/64, 0)
+	noisy := RequiredStreamLength(1.0/64, 0.1)
+	if clean != 1024 {
+		t.Errorf("clean length = %d, want 1024", clean)
+	}
+	if noisy <= clean {
+		t.Errorf("BER did not increase stream length: %d vs %d", noisy, clean)
+	}
+	// Power of two.
+	for _, l := range []int{clean, noisy} {
+		if l&(l-1) != 0 {
+			t.Errorf("length %d not a power of two", l)
+		}
+	}
+}
+
+func TestRequiredStreamLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("epsilon 0 did not panic")
+		}
+	}()
+	RequiredStreamLength(0, 0.1)
+}

@@ -1,0 +1,40 @@
+// Package core implements the optical stochastic-computing
+// architecture of El-Derhalli, Le Beux and Tahar, "Stochastic
+// Computing with Integrated Optics" (DATE 2019) — the paper's primary
+// contribution.
+//
+// # Architecture (paper Fig. 3/4)
+//
+// An n-order unit evaluates a Bernstein polynomial B(x) = Σ b_i
+// B_{i,n}(x) optically:
+//
+//   - a pump laser feeds n parallel MZIs through a 1:n splitter; data
+//     bit x_i = 1 drives MZI i into destructive interference, so the
+//     recombined pump power encodes the number of '1' data bits
+//     (Eq. 7b);
+//   - the pump tunes an all-optical add-drop micro-ring filter via
+//     two-photon absorption: the filter resonance blue-shifts by
+//     ΔFilter = OPpump · OTE · (1/n) Σ T_MZI(x_i) (Eq. 7a);
+//   - n+1 probe lasers at wavelengths λ_0 < λ_1 < ... < λ_n (WDM grid
+//     with spacing WLspacing, Eq. 5) are OOK-modulated by the
+//     coefficient bits z_i through micro-ring modulators; the shifted
+//     filter drops exactly the probe selected by the data weight onto
+//     the photodetector (Eq. 6);
+//   - counting received ones de-randomizes the output.
+//
+// The analytical transmission model (Eqs. 5–7), SNR and BER (Eqs. 8–9),
+// both design-space-exploration methods (MRR-first, MZI-first), the
+// pulse-based-pump energy model (Fig. 7), and a reconfigurable
+// multi-order variant are implemented here on top of the device models
+// in internal/optics.
+//
+// # Calibration
+//
+// The paper does not publish micro-ring coupling coefficients or the
+// photodetector noise. RingShape presets and DefaultDetector are
+// calibrated so the paper's quantitative anchors hold: the Fig. 5
+// received-power bands, the 591.8 mW / 13.22 dB pump sizing of §V.A,
+// the 0.26 mW probe power at the Fig. 6(a) anchor, and the ≈20 pJ/bit
+// optimum of Fig. 7(a). See EXPERIMENTS.md for measured-vs-paper
+// numbers.
+package core

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/optics"
+)
+
+// EnergyBreakdown is the per-computed-bit laser energy of a design,
+// the quantity of the paper's Fig. 7. All energies are electrical
+// (optical power / lasing efficiency) in picojoules.
+type EnergyBreakdown struct {
+	// WLSpacingNM is the probe spacing the design was sized for.
+	WLSpacingNM float64
+	// PumpPJ is the pulse-based pump laser's energy per bit.
+	PumpPJ float64
+	// ProbePJ is the summed energy of all n+1 CW probe lasers.
+	ProbePJ float64
+	// PumpPowerMW and ProbePowerMW are the sized laser powers
+	// (probe is per laser).
+	PumpPowerMW  float64
+	ProbePowerMW float64
+	// ProbeLasers is the probe laser count n+1.
+	ProbeLasers int
+}
+
+// TotalPJ returns pump + probe energy per bit.
+func (e EnergyBreakdown) TotalPJ() float64 { return e.PumpPJ + e.ProbePJ }
+
+// String implements fmt.Stringer.
+func (e EnergyBreakdown) String() string {
+	return fmt.Sprintf("spacing %.3fnm: pump %.2fpJ (%.1fmW) + probe %.2fpJ (%d×%.3fmW) = %.2fpJ/bit",
+		e.WLSpacingNM, e.PumpPJ, e.PumpPowerMW, e.ProbePJ, e.ProbeLasers, e.ProbePowerMW, e.TotalPJ())
+}
+
+// EnergyModel sizes minimal lasers for a given wavelength spacing
+// (via MRR-first) and evaluates the per-bit energy. It is the engine
+// behind Fig. 7(a)/(b).
+type EnergyModel struct {
+	Spec MRRFirstSpec
+}
+
+// NewEnergyModel returns a model for the given polynomial order with
+// the paper's §V.C assumptions (1 Gb/s, 26 ps pump pulses, 20 %
+// lasing efficiency, dense ring preset, BER target 1e-6).
+func NewEnergyModel(order int) EnergyModel {
+	return EnergyModel{Spec: MRRFirstSpec{Order: order}}
+}
+
+// NewWideCombEnergyModel is NewEnergyModel with the 40 nm-FSR ring
+// preset, required when the probe comb is wide (high order × wide
+// spacing, as in the Fig. 7(b) sweep up to order 16 at 1 nm).
+func NewWideCombEnergyModel(order int) EnergyModel {
+	return EnergyModel{Spec: MRRFirstSpec{
+		Order:       order,
+		ModShape:    WideFSRModulatorShape(),
+		FilterShape: WideFSRFilterShape(),
+	}}
+}
+
+// Breakdown sizes the design at the given spacing and returns its
+// energy per computed bit. The pump fires one pulse per bit; each of
+// the n+1 probe lasers runs CW across the bit slot.
+func (m EnergyModel) Breakdown(wlSpacingNM float64) (EnergyBreakdown, error) {
+	spec := m.Spec
+	spec.WLSpacingNM = wlSpacingNM
+	p, err := MRRFirst(spec)
+	if err != nil {
+		return EnergyBreakdown{}, err
+	}
+	return ParamsEnergy(p), nil
+}
+
+// ParamsEnergy evaluates the per-bit energy of an already-sized
+// parameter set.
+func ParamsEnergy(p Params) EnergyBreakdown {
+	bitT := p.BitPeriodS()
+	var pumpPJ float64
+	if p.PulseWidthS > 0 {
+		pump := optics.PulsedLaser{
+			PeakPowerMW: p.PumpPowerMW,
+			PulseWidthS: p.PulseWidthS,
+			Efficiency:  p.LasingEfficiency,
+		}
+		pumpPJ = pump.EnergyPerBitPJ(bitT)
+	} else {
+		cw := optics.CWLaser{PowerMW: p.PumpPowerMW, Efficiency: p.LasingEfficiency}
+		pumpPJ = cw.EnergyPerBitPJ(bitT)
+	}
+	probe := optics.CWLaser{PowerMW: p.ProbePowerMW, Efficiency: p.LasingEfficiency}
+	probePJ := float64(p.Order+1) * probe.EnergyPerBitPJ(bitT)
+	return EnergyBreakdown{
+		WLSpacingNM:  p.WLSpacingNM,
+		PumpPJ:       pumpPJ,
+		ProbePJ:      probePJ,
+		PumpPowerMW:  p.PumpPowerMW,
+		ProbePowerMW: p.ProbePowerMW,
+		ProbeLasers:  p.Order + 1,
+	}
+}
+
+// Sweep evaluates the breakdown across a spacing range, skipping
+// infeasible points (closed eye). It returns one row per feasible
+// spacing — the data series of Fig. 7(a).
+func (m EnergyModel) Sweep(loNM, hiNM float64, points int) []EnergyBreakdown {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]EnergyBreakdown, 0, points)
+	for _, w := range numeric.Linspace(loNM, hiNM, points) {
+		b, err := m.Breakdown(w)
+		if err != nil {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// OptimalSpacing minimizes the total laser energy over [loNM, hiNM]
+// and returns the optimum spacing with its breakdown. Infeasible
+// spacings are treated as infinitely expensive. It returns an error
+// if no spacing in the range is feasible.
+func (m EnergyModel) OptimalSpacing(loNM, hiNM float64) (EnergyBreakdown, error) {
+	obj := func(w float64) float64 {
+		b, err := m.Breakdown(w)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return b.TotalPJ()
+	}
+	best := numeric.MinimizeUnimodal(obj, loNM, hiNM, 60, 1e-4)
+	if math.IsInf(obj(best), 1) {
+		return EnergyBreakdown{}, fmt.Errorf("core: no feasible spacing in [%g, %g] nm", loNM, hiNM)
+	}
+	return m.Breakdown(best)
+}
+
+// EnergySavingVsFixed returns the fractional energy saving of the
+// optimal spacing against a fixed reference spacing (the paper's
+// Fig. 7(b) reports ≈76.6 % against 1 nm).
+func (m EnergyModel) EnergySavingVsFixed(fixedNM, loNM, hiNM float64) (saving float64, fixed, opt EnergyBreakdown, err error) {
+	fixed, err = m.Breakdown(fixedNM)
+	if err != nil {
+		return 0, fixed, opt, err
+	}
+	opt, err = m.OptimalSpacing(loNM, hiNM)
+	if err != nil {
+		return 0, fixed, opt, err
+	}
+	return 1 - opt.TotalPJ()/fixed.TotalPJ(), fixed, opt, nil
+}
+
+// SpeedupVsElectronic returns the throughput speedup of the optical
+// unit at its bit rate against an electronic ReSC clocked at
+// refMHz (the paper compares 1 GHz optics against the 100 MHz of
+// Qian et al., a 10× speedup).
+func (p Params) SpeedupVsElectronic(refMHz float64) float64 {
+	if refMHz <= 0 {
+		panic("core: reference clock must be positive")
+	}
+	return p.BitRateGbps * 1e3 / refMHz
+}

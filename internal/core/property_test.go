@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomValidParams draws a random but physically valid parameter set
+// around the paper's operating region.
+func randomValidParams(rng *rand.Rand) Params {
+	p := PaperParams()
+	p.Order = 1 + rng.Intn(4)
+	p.WLSpacingNM = 0.2 + rng.Float64()*1.0
+	p.MZI.ILdB = 3 + rng.Float64()*4
+	p.MZI.ERdB = 4 + rng.Float64()*10
+	p.ProbePowerMW = 0.1 + rng.Float64()*2
+	// Re-derive the pump for the new comb so states stay aligned.
+	shift := p.FilterOffsetNM + float64(p.Order)*p.WLSpacingNM
+	p.PumpPowerMW = p.OTE.PowerForShiftMW(shift) / p.MZI.ILFraction()
+	return p
+}
+
+// TestPropertyTransmissionsPhysical: for any valid design, every
+// probe transmission is a power fraction and received powers are
+// non-negative and bounded by the injected probe power.
+func TestPropertyTransmissionsPhysical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomValidParams(rng)
+		c, err := NewCircuit(p)
+		if err != nil {
+			// Random draw violated a structural constraint (e.g.
+			// comb wider than the FSR); that is a rejection, not a
+			// failure.
+			return true
+		}
+		n := p.Order
+		z := make([]int, n+1)
+		for trial := 0; trial < 8; trial++ {
+			for i := range z {
+				z[i] = rng.Intn(2)
+			}
+			w := rng.Intn(n + 1)
+			d := c.FilterShiftNM(w)
+			total := 0.0
+			for i := 0; i <= n; i++ {
+				tr := c.ProbeTransmission(i, z, d)
+				if tr < 0 || tr > 1 {
+					return false
+				}
+				total += tr
+			}
+			rx := c.ReceivedPowerMW(w, z)
+			if rx < 0 || rx > float64(n+1)*p.ProbePowerMW {
+				return false
+			}
+			if math.Abs(rx-total*p.ProbePowerMW) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFilterShiftMonotone: more destructive MZIs always mean
+// less pump and a smaller filter shift.
+func TestPropertyFilterShiftMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomValidParams(rng)
+		c, err := NewCircuit(p)
+		if err != nil {
+			return true
+		}
+		prev := math.Inf(1)
+		for w := 0; w <= p.Order; w++ {
+			s := c.FilterShiftNM(w)
+			if s >= prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDesignedCircuitsAlign: both design methods produce
+// exactly aligned combs for any reasonable input.
+func TestPropertyDesignedCircuitsAlign(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 1 + rng.Intn(4)
+		spacing := 0.15 + rng.Float64()*0.8
+		p, err := MRRFirst(MRRFirstSpec{Order: order, WLSpacingNM: spacing})
+		if err != nil {
+			return true // infeasible draws are rejections
+		}
+		c, err := NewCircuit(p)
+		if err != nil {
+			return false
+		}
+		return c.AlignmentErrorNM() < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMinProbeMonotoneInBER: a stricter BER target never
+// needs less probe power.
+func TestPropertyMinProbeMonotoneInBER(t *testing.T) {
+	c := MustCircuit(PaperParams())
+	f := func(a, b float64) bool {
+		// Map to BER targets in (1e-9, 1e-1).
+		berA := math.Pow(10, -1-8*frac(a))
+		berB := math.Pow(10, -1-8*frac(b))
+		lo, hi := math.Min(berA, berB), math.Max(berA, berB)
+		return c.MinProbePowerMW(lo) >= c.MinProbePowerMW(hi)-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}
+
+// TestPropertyEnergyBreakdownPositive: any feasible spacing yields
+// strictly positive pump and probe energies and consistent totals.
+func TestPropertyEnergyBreakdownPositive(t *testing.T) {
+	m := NewEnergyModel(2)
+	f := func(x float64) bool {
+		w := 0.1 + 0.9*frac(x)
+		b, err := m.Breakdown(w)
+		if err != nil {
+			return true
+		}
+		return b.PumpPJ > 0 && b.ProbePJ > 0 &&
+			math.Abs(b.TotalPJ()-(b.PumpPJ+b.ProbePJ)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stochastic"
+)
+
+// Reconfigurable is the multi-order circuit the paper's conclusion
+// motivates: because the energy-optimal wavelength spacing is
+// (approximately) independent of the polynomial degree, one probe
+// comb at the optimal spacing can serve polynomial functions of
+// several orders. The structure owns one sized design per supported
+// order, all sharing the same spacing, ring shapes and detector, and
+// switches between them per evaluation.
+type Reconfigurable struct {
+	// SpacingNM is the shared probe spacing.
+	SpacingNM float64
+	circuits  map[int]*Circuit
+}
+
+// NewReconfigurable sizes a design at the given spacing for every
+// order in orders (via MRR-first on spec, whose Order and WLSpacing
+// fields are overridden).
+func NewReconfigurable(spec MRRFirstSpec, spacingNM float64, orders []int) (*Reconfigurable, error) {
+	if len(orders) == 0 {
+		return nil, fmt.Errorf("core: no orders given")
+	}
+	r := &Reconfigurable{SpacingNM: spacingNM, circuits: make(map[int]*Circuit, len(orders))}
+	for _, n := range orders {
+		s := spec
+		s.Order = n
+		s.WLSpacingNM = spacingNM
+		p, err := MRRFirst(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: sizing order %d: %w", n, err)
+		}
+		c, err := NewCircuit(p)
+		if err != nil {
+			return nil, err
+		}
+		r.circuits[n] = c
+	}
+	return r, nil
+}
+
+// Orders returns the supported polynomial orders in ascending order.
+func (r *Reconfigurable) Orders() []int {
+	out := make([]int, 0, len(r.circuits))
+	for n := range r.circuits {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Circuit returns the sized circuit for an order.
+func (r *Reconfigurable) Circuit(order int) (*Circuit, error) {
+	c, ok := r.circuits[order]
+	if !ok {
+		return nil, fmt.Errorf("core: order %d not configured (have %v)", order, r.Orders())
+	}
+	return c, nil
+}
+
+// Evaluate computes B(x) for a polynomial of any supported order with
+// `length`-bit streams, reconfiguring the unit to the polynomial's
+// degree.
+func (r *Reconfigurable) Evaluate(poly stochastic.BernsteinPoly, x float64, length int, seed uint64) (float64, error) {
+	c, err := r.Circuit(poly.Degree())
+	if err != nil {
+		return 0, err
+	}
+	u, err := NewUnit(c, poly, seed)
+	if err != nil {
+		return 0, err
+	}
+	v, _ := u.Evaluate(x, length)
+	return v, nil
+}
+
+// EnergyByOrder returns the per-bit energy of each configured order
+// at the shared spacing — the evidence for the paper's claim that one
+// spacing serves all orders efficiently.
+func (r *Reconfigurable) EnergyByOrder() map[int]EnergyBreakdown {
+	out := make(map[int]EnergyBreakdown, len(r.circuits))
+	for n, c := range r.circuits {
+		out[n] = ParamsEnergy(c.P)
+	}
+	return out
+}

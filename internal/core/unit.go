@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stochastic"
+)
+
+// Unit is the end-to-end optical stochastic-computing unit: the
+// randomizer (SNGs driving the MZIs and the coefficient modulators),
+// the optical datapath (Circuit), and the de-randomizer (OOK decision
+// against the calibrated threshold plus a ones counter).
+//
+// In the absence of detector noise the decision is exact whenever the
+// worst-case eye is open, making the unit functionally equivalent to
+// the electronic ReSC baseline; internal/transient injects noise to
+// study the BER-induced accuracy loss.
+type Unit struct {
+	Circuit *Circuit
+	Poly    stochastic.BernsteinPoly
+
+	dataSNG []*stochastic.SNG
+	coefSNG []*stochastic.SNG
+
+	thresholdMW float64
+
+	// powerCache memoizes ReceivedPowerMW by (weight, z-bitmask):
+	// the optical state space has only (n+1)·2^(n+1) points, so
+	// caching turns per-bit ring evaluations into table lookups.
+	// Indexed [weight][zmask]; negative entries mean "not computed".
+	// Nil for orders too large to tabulate.
+	powerCache [][]float64
+}
+
+// NewUnit builds a unit for the polynomial on the given circuit. The
+// polynomial degree must match the circuit order and the coefficients
+// must be probabilities. Randomness derives from seed via independent
+// SplitMix64 streams.
+func NewUnit(c *Circuit, poly stochastic.BernsteinPoly, seed uint64) (*Unit, error) {
+	if poly.Degree() != c.P.Order {
+		return nil, fmt.Errorf("core: polynomial degree %d != circuit order %d", poly.Degree(), c.P.Order)
+	}
+	if !poly.Representable() {
+		return nil, fmt.Errorf("core: polynomial %v not SC-representable", poly)
+	}
+	u := &Unit{Circuit: c, Poly: poly}
+	u.dataSNG = make([]*stochastic.SNG, c.P.Order)
+	for i := range u.dataSNG {
+		u.dataSNG[i] = stochastic.NewSNG(stochastic.NewSplitMix64(seed + uint64(i)*0x9E3779B9 + 1))
+	}
+	u.coefSNG = make([]*stochastic.SNG, c.P.Order+1)
+	for i := range u.coefSNG {
+		u.coefSNG[i] = stochastic.NewSNG(stochastic.NewSplitMix64(seed + 0x5DEECE66D + uint64(i)*0x61C88647))
+	}
+	u.thresholdMW = c.Decider().ThresholdMW
+	if n := c.P.Order; n <= 16 {
+		u.powerCache = make([][]float64, n+1)
+		for w := range u.powerCache {
+			row := make([]float64, 1<<(n+1))
+			for i := range row {
+				row[i] = -1
+			}
+			u.powerCache[w] = row
+		}
+	}
+	return u, nil
+}
+
+// receivedMW returns the cached received power for a data weight and
+// coefficient bits, computing it on first use.
+func (u *Unit) receivedMW(weight int, z []int, zmask int) float64 {
+	if u.powerCache == nil {
+		return u.Circuit.ReceivedPowerMW(weight, z)
+	}
+	if v := u.powerCache[weight][zmask]; v >= 0 {
+		return v
+	}
+	v := u.Circuit.ReceivedPowerMW(weight, z)
+	u.powerCache[weight][zmask] = v
+	return v
+}
+
+// ThresholdMW returns the OOK decision threshold calibrated from the
+// circuit's worst-case power bands.
+func (u *Unit) ThresholdMW() float64 { return u.thresholdMW }
+
+// StepResult captures one optical clock cycle for inspection.
+type StepResult struct {
+	// X holds the data bits that drove the MZIs; Z the coefficient
+	// bits that drove the modulators.
+	X, Z []int
+	// Weight is the number of '1' data bits; Selected the probe
+	// channel the filter routed to the detector.
+	Weight, Selected int
+	// ReceivedMW is the optical power at the photodetector (before
+	// any noise).
+	ReceivedMW float64
+	// Bit is the thresholded output bit.
+	Bit int
+}
+
+// Step runs one optical clock cycle at input probability x. noiseMW
+// is added to the received power before thresholding (0 for the
+// noiseless analytic model; internal/transient supplies Gaussian
+// samples).
+func (u *Unit) Step(x float64, noiseMW float64) StepResult {
+	n := u.Circuit.P.Order
+	r := StepResult{X: make([]int, n), Z: make([]int, n+1)}
+	for i := range r.X {
+		r.X[i] = u.dataSNG[i].NextBit(x)
+		r.Weight += r.X[i]
+	}
+	zmask := 0
+	for i := range r.Z {
+		r.Z[i] = u.coefSNG[i].NextBit(u.Poly.Coef[i])
+		zmask |= r.Z[i] << i
+	}
+	r.Selected = u.Circuit.SelectedChannel(r.Weight)
+	r.ReceivedMW = u.receivedMW(r.Weight, r.Z, zmask)
+	if r.ReceivedMW+noiseMW > u.thresholdMW {
+		r.Bit = 1
+	}
+	return r
+}
+
+// Evaluate runs `length` cycles at input x (noiseless) and returns
+// the de-randomized estimate of B(x) with the raw output stream.
+func (u *Unit) Evaluate(x float64, length int) (float64, *stochastic.Bitstream) {
+	out := stochastic.NewBitstream(length)
+	for t := 0; t < length; t++ {
+		out.Set(t, u.Step(x, 0).Bit)
+	}
+	return out.Value(), out
+}
+
+// EvaluateSweep evaluates the unit across xs with fresh streams.
+func (u *Unit) EvaluateSweep(xs []float64, length int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i], _ = u.Evaluate(x, length)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stochastic"
+)
+
+// VariationSpec describes fabrication-induced device variation for
+// Monte-Carlo yield analysis. The paper motivates stochastic
+// computing precisely for "application domains where soft errors and
+// process variations are of major concern" (§I); this analysis turns
+// that concern on the optical implementation itself.
+//
+// All sigmas are standard deviations of independent Gaussian
+// perturbations applied per fabricated instance.
+type VariationSpec struct {
+	// RingResonanceSigmaNM perturbs every ring's cold resonance
+	// (typical silicon fab: 0.05–0.5 nm before trimming; assume
+	// post-trim residuals of a few tens of pm).
+	RingResonanceSigmaNM float64
+	// CouplingSigma perturbs ring self-coupling coefficients
+	// (relative).
+	CouplingSigma float64
+	// MZIILSigmaDB and MZIERSigmaDB perturb the MZI figures.
+	MZIILSigmaDB float64
+	MZIERSigmaDB float64
+
+	// Samples is the Monte-Carlo count; Seed the RNG seed.
+	Samples int
+	Seed    uint64
+	// TargetBER defines a passing die.
+	TargetBER float64
+}
+
+// YieldResult summarizes the Monte-Carlo run.
+type YieldResult struct {
+	Samples int
+	Pass    int
+	// Yield is Pass/Samples.
+	Yield float64
+	// MeanBER and WorstBER aggregate the per-die worst-case BER.
+	MeanBER  float64
+	WorstBER float64
+	// MeanEyeMW is the average worst-case eye opening.
+	MeanEyeMW float64
+}
+
+// gaussian is a minimal Box–Muller sampler over SplitMix64 (kept
+// local: importing internal/transient here would cycle).
+type gaussian struct {
+	src   *stochastic.SplitMix64
+	spare float64
+	has   bool
+}
+
+func (g *gaussian) next() float64 {
+	if g.has {
+		g.has = false
+		return g.spare
+	}
+	var u float64
+	for {
+		u = g.src.Next()
+		if u > 0 {
+			break
+		}
+	}
+	v := g.src.Next()
+	r := math.Sqrt(-2 * math.Log(u))
+	g.spare = r * math.Sin(2*math.Pi*v)
+	g.has = true
+	return r * math.Cos(2*math.Pi*v)
+}
+
+// AnalyzeYield fabricates `Samples` virtual dies of the design p with
+// the given variation and reports how many still meet the BER target.
+func AnalyzeYield(p Params, v VariationSpec) (YieldResult, error) {
+	if v.Samples < 1 {
+		return YieldResult{}, fmt.Errorf("core: yield needs >= 1 sample")
+	}
+	if v.TargetBER <= 0 || v.TargetBER >= 0.5 {
+		return YieldResult{}, fmt.Errorf("core: yield BER target %g outside (0, 0.5)", v.TargetBER)
+	}
+	if err := p.Validate(); err != nil {
+		return YieldResult{}, err
+	}
+	g := &gaussian{src: stochastic.NewSplitMix64(v.Seed)}
+
+	res := YieldResult{Samples: v.Samples}
+	sumBER, sumEye := 0.0, 0.0
+	for s := 0; s < v.Samples; s++ {
+		die := p
+		// MZI device variation (clamped to physical ranges).
+		die.MZI.ILdB = math.Max(0, die.MZI.ILdB+g.next()*v.MZIILSigmaDB)
+		die.MZI.ERdB = math.Max(0.1, die.MZI.ERdB+g.next()*v.MZIERSigmaDB)
+		// Filter resonance variation enters through the offset.
+		die.FilterOffsetNM = math.Max(0, die.FilterOffsetNM+g.next()*v.RingResonanceSigmaNM)
+
+		c, err := NewCircuit(die)
+		if err != nil {
+			// A die so far off it violates structural constraints is
+			// simply a failed die.
+			sumBER += 0.5
+			continue
+		}
+		// Per-ring perturbations on the instantiated devices.
+		for i := range c.Modulators {
+			c.Modulators[i].ResonanceNM += g.next() * v.RingResonanceSigmaNM
+			c.Modulators[i].SelfCoupling1 = clamp01open(c.Modulators[i].SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
+			c.Modulators[i].SelfCoupling2 = clamp01open(c.Modulators[i].SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
+		}
+		c.Filter.SelfCoupling1 = clamp01open(c.Filter.SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
+		c.Filter.SelfCoupling2 = clamp01open(c.Filter.SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
+
+		ber := c.BER()
+		eye := c.EyeOpeningMW()
+		sumBER += ber
+		sumEye += eye
+		if ber > res.WorstBER {
+			res.WorstBER = ber
+		}
+		if ber <= v.TargetBER {
+			res.Pass++
+		}
+	}
+	res.Yield = float64(res.Pass) / float64(v.Samples)
+	res.MeanBER = sumBER / float64(v.Samples)
+	res.MeanEyeMW = sumEye / float64(v.Samples)
+	return res, nil
+}
+
+func clamp01open(x float64) float64 {
+	if x <= 0 {
+		return 1e-6
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String implements fmt.Stringer.
+func (r YieldResult) String() string {
+	return fmt.Sprintf("yield %d/%d (%.1f%%), mean BER %.3g, worst BER %.3g, mean eye %.4f mW",
+		r.Pass, r.Samples, r.Yield*100, r.MeanBER, r.WorstBER, r.MeanEyeMW)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestYieldPerfectWithoutVariation(t *testing.T) {
+	p := PaperParams()
+	r, err := AnalyzeYield(p, VariationSpec{Samples: 20, Seed: 1, TargetBER: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Yield != 1 {
+		t.Errorf("zero-variation yield = %g", r.Yield)
+	}
+	if r.Pass != 20 || r.Samples != 20 {
+		t.Errorf("counts %d/%d", r.Pass, r.Samples)
+	}
+}
+
+func TestYieldDegradesWithVariation(t *testing.T) {
+	p := PaperParams()
+	mild, err := AnalyzeYield(p, VariationSpec{
+		RingResonanceSigmaNM: 0.01,
+		Samples:              60, Seed: 2, TargetBER: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := AnalyzeYield(p, VariationSpec{
+		RingResonanceSigmaNM: 0.3, // untrimmed fab-level variation
+		CouplingSigma:        0.05,
+		MZIILSigmaDB:         1,
+		MZIERSigmaDB:         2,
+		Samples:              60, Seed: 3, TargetBER: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mild.Yield < 0.9 {
+		t.Errorf("mild (post-trim) variation yield = %g", mild.Yield)
+	}
+	if harsh.Yield >= mild.Yield {
+		t.Errorf("harsh variation did not reduce yield: %g vs %g", harsh.Yield, mild.Yield)
+	}
+	if harsh.MeanBER <= mild.MeanBER {
+		t.Errorf("harsh variation did not worsen BER: %g vs %g", harsh.MeanBER, mild.MeanBER)
+	}
+	if harsh.MeanEyeMW >= mild.MeanEyeMW {
+		t.Errorf("harsh variation did not shrink the eye: %g vs %g", harsh.MeanEyeMW, mild.MeanEyeMW)
+	}
+}
+
+func TestYieldReproducible(t *testing.T) {
+	p := PaperParams()
+	spec := VariationSpec{RingResonanceSigmaNM: 0.05, Samples: 30, Seed: 7, TargetBER: 1e-6}
+	a, err := AnalyzeYield(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeYield(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results: %v vs %v", a, b)
+	}
+	spec.Seed = 8
+	c, err := AnalyzeYield(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds gave identical Monte-Carlo results")
+	}
+}
+
+func TestYieldValidation(t *testing.T) {
+	p := PaperParams()
+	if _, err := AnalyzeYield(p, VariationSpec{Samples: 0, TargetBER: 1e-6}); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := AnalyzeYield(p, VariationSpec{Samples: 5, TargetBER: 0.7}); err == nil {
+		t.Error("bad BER target accepted")
+	}
+	p.Order = 0
+	if _, err := AnalyzeYield(p, VariationSpec{Samples: 5, TargetBER: 1e-6}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestYieldString(t *testing.T) {
+	r := YieldResult{Samples: 10, Pass: 9, Yield: 0.9, MeanBER: 1e-8, WorstBER: 1e-3, MeanEyeMW: 0.35}
+	if s := r.String(); !strings.Contains(s, "90.0%") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,15 @@
+// Package image provides the gamma-correction image-processing
+// application the paper motivates its 6th-order polynomial evaluation
+// with (§V.C): a minimal grayscale image type with PGM I/O, synthetic
+// test-image generators, and pipelines that apply the gamma transfer
+// function three ways — exactly, through the electronic ReSC
+// baseline, and through the optical stochastic-computing unit — with
+// PSNR against the exact result as the quality metric.
+//
+// Gray levels map to probabilities as v/255; a stochastic evaluation
+// of the degree-6 Bernstein approximation of x^gamma produces the
+// corrected level. Because an image has at most 256 distinct levels,
+// the pipelines evaluate each level once and apply the result as a
+// lookup table, matching how a hardware unit would stream per-level
+// bit-streams.
+package image

@@ -1,0 +1,80 @@
+package image
+
+import (
+	"math"
+
+	"repro/internal/stochastic"
+)
+
+// Edge detection is the second canonical error-tolerant image
+// workload of the SC literature (alongside gamma correction): the
+// Robert's-cross operator
+//
+//	E(x,y) = ½(|P(x,y) − P(x+1,y+1)| + |P(x+1,y) − P(x,y+1)|)
+//
+// maps onto two XOR gates and a multiplexer when the pixel streams
+// share a randomness source: for *correlated* unipolar streams
+// XOR computes the absolute difference exactly (see
+// stochastic.AbsDiffXOR), and a ½-select MUX averages the two terms.
+
+// RobertsCrossExact computes the operator in floating point.
+func RobertsCrossExact(src *Gray) *Gray {
+	out := NewGray(src.W, src.H)
+	for y := 0; y < src.H-1; y++ {
+		for x := 0; x < src.W-1; x++ {
+			a := float64(src.At(x, y)) / 255
+			b := float64(src.At(x+1, y+1)) / 255
+			c := float64(src.At(x+1, y)) / 255
+			d := float64(src.At(x, y+1)) / 255
+			e := (math.Abs(a-b) + math.Abs(c-d)) / 2
+			out.Set(x, y, quantize(e))
+		}
+	}
+	return out
+}
+
+// RobertsCrossSC computes the operator stochastically with
+// `streamLen`-bit streams. Pixel streams within one 2×2 window share
+// one randomness source (maximal correlation) so XOR realizes the
+// absolute difference; the two difference streams and the averaging
+// select stream are mutually independent.
+func RobertsCrossSC(src *Gray, streamLen int, seed uint64) *Gray {
+	out := NewGray(src.W, src.H)
+	selSNG := stochastic.NewSNG(stochastic.NewSplitMix64(seed ^ 0xD1B54A32D192ED03))
+	sel := selSNG.Generate(0.5, streamLen)
+	for y := 0; y < src.H-1; y++ {
+		for x := 0; x < src.W-1; x++ {
+			// One shared source per diagonal pair => correlated
+			// streams whose XOR is the absolute difference.
+			d1 := absDiffStream(
+				float64(src.At(x, y))/255,
+				float64(src.At(x+1, y+1))/255,
+				streamLen, seed+uint64(y*src.W+x)*2654435761+1)
+			d2 := absDiffStream(
+				float64(src.At(x+1, y))/255,
+				float64(src.At(x, y+1))/255,
+				streamLen, seed+uint64(y*src.W+x)*2654435761+2)
+			e := stochastic.ScaledAdd(sel, d1, d2)
+			out.Set(x, y, quantize(e.Value()))
+		}
+	}
+	return out
+}
+
+// absDiffStream builds two maximally correlated streams of values a
+// and b from one uniform source and XORs them: value |a−b|.
+func absDiffStream(a, b float64, n int, seed uint64) *stochastic.Bitstream {
+	src := stochastic.NewSplitMix64(seed)
+	sa := stochastic.NewBitstream(n)
+	sb := stochastic.NewBitstream(n)
+	for i := 0; i < n; i++ {
+		r := src.Next()
+		if r < a {
+			sa.Set(i, 1)
+		}
+		if r < b {
+			sb.Set(i, 1)
+		}
+	}
+	return stochastic.AbsDiffXOR(sa, sb)
+}

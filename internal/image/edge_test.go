@@ -1,0 +1,67 @@
+package image
+
+import (
+	"testing"
+)
+
+func TestRobertsCrossExactOnStep(t *testing.T) {
+	// A vertical step edge: detector fires along the boundary only.
+	img := NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			img.Set(x, y, 255)
+		}
+	}
+	e := RobertsCrossExact(img)
+	// Column 3/4 boundary: both diagonal differences are 1 for
+	// pixels straddling the edge.
+	if e.At(3, 2) < 200 {
+		t.Errorf("edge response %d at boundary", e.At(3, 2))
+	}
+	// Flat regions: zero response.
+	if e.At(0, 0) != 0 || e.At(6, 3) != 0 {
+		t.Errorf("flat response %d / %d", e.At(0, 0), e.At(6, 3))
+	}
+}
+
+func TestRobertsCrossSCMatchesExact(t *testing.T) {
+	src := Checkerboard(16, 16, 4, 40, 210)
+	exact := RobertsCrossExact(src)
+	sc := RobertsCrossSC(src, 2048, 9)
+	// The SC detector must agree within a few gray levels on
+	// average; correlated XOR makes |a-b| exact up to stream
+	// quantization.
+	if mae := MeanAbsoluteError(exact, sc); mae > 6 {
+		t.Errorf("SC edge MAE = %.2f levels", mae)
+	}
+	if psnr := PSNR(exact, sc); psnr < 25 {
+		t.Errorf("SC edge PSNR = %.1f dB", psnr)
+	}
+}
+
+func TestRobertsCrossSCEdgesFire(t *testing.T) {
+	img := NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			img.Set(x, y, 255)
+		}
+	}
+	e := RobertsCrossSC(img, 1024, 3)
+	if e.At(3, 2) < 180 {
+		t.Errorf("SC edge response %d", e.At(3, 2))
+	}
+	if e.At(0, 0) > 20 {
+		t.Errorf("SC flat response %d", e.At(0, 0))
+	}
+}
+
+func TestRobertsCrossGradientQuiet(t *testing.T) {
+	// A gentle ramp has small derivatives: responses stay low.
+	src := Gradient(64, 8)
+	e := RobertsCrossExact(src)
+	for x := 0; x < 62; x++ {
+		if e.At(x, 3) > 10 {
+			t.Fatalf("ramp response %d at x=%d", e.At(x, 3), x)
+		}
+	}
+}

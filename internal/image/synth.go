@@ -1,0 +1,61 @@
+package image
+
+import "math"
+
+// Gradient returns a horizontal gray ramp, the canonical test pattern
+// for transfer-function studies: every gray level appears.
+func Gradient(w, h int) *Gray {
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, uint8(x*255/max(1, w-1)))
+		}
+	}
+	return g
+}
+
+// Checkerboard returns an alternating-tile pattern with the two given
+// gray levels; cell is the tile edge in pixels.
+func Checkerboard(w, h, cell int, dark, light uint8) *Gray {
+	if cell < 1 {
+		cell = 1
+	}
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if ((x/cell)+(y/cell))%2 == 0 {
+				g.Set(x, y, dark)
+			} else {
+				g.Set(x, y, light)
+			}
+		}
+	}
+	return g
+}
+
+// Radial returns a radial brightness falloff (bright center, dark
+// corners), a stand-in for vignetted photographs — the content gamma
+// correction is typically applied to.
+func Radial(w, h int) *Gray {
+	g := NewGray(w, h)
+	cx, cy := float64(w-1)/2, float64(h-1)/2
+	maxR := math.Hypot(cx, cy)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := math.Hypot(float64(x)-cx, float64(y)-cy) / maxR
+			v := 255 * (1 - r*r)
+			if v < 0 {
+				v = 0
+			}
+			g.Set(x, y, uint8(v+0.5))
+		}
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

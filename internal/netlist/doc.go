@@ -1,0 +1,30 @@
+// Package netlist parses and elaborates a small SPICE-like textual
+// description of an optical stochastic-computing experiment, the
+// front end for cmd/oscspice. The paper's future work plans "a SPICE
+// model for transient simulation of the optical circuit"; this
+// package provides the equivalent workflow: a text deck describing
+// the circuit, its polynomial and the stimulus, elaborated into a
+// core.Circuit plus a transient simulation plan.
+//
+// # Deck format
+//
+// One directive per line; '#' starts a comment. Keywords:
+//
+//	order <n>                 polynomial degree (default 2)
+//	spacing <nm>              wavelength spacing (MRR-first; default 1.0)
+//	rings fig5|dense          ring calibration preset (default fig5)
+//	mzi il=<dB> [er=<dB>]     MZI device; er only used with method mzi-first
+//	method mrr-first|mzi-first (default mrr-first)
+//	pump <mW>                 pump power (mzi-first only)
+//	probe <mW>                probe laser power override
+//	ber <target>              BER target for laser sizing (default 1e-6)
+//	poly <b0> <b1> ... <bn>   Bernstein coefficients (must match order)
+//	fit gamma <g>             fit x^g at the given order instead of poly
+//	input <x>                 stimulus probability (default 0.5)
+//	bits <count>              stream length (default 4096)
+//	seed <uint>               randomness seed (default 1)
+//	noise on|off              transient detector noise (default on)
+//
+// Unknown keywords are an error: silent typos must not alter an
+// experiment.
+package netlist

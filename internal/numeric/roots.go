@@ -1,0 +1,134 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by the bracketed root finders when the
+// supplied interval does not straddle a sign change.
+var ErrNoBracket = errors.New("numeric: interval does not bracket a root")
+
+// ErrNoConvergence is returned when an iterative routine exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("numeric: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must
+// have opposite signs (or one of them may be zero). The returned x
+// satisfies |b-a| <= tol around the root after at most maxIter
+// halvings. Bisection is slow but unconditionally robust, which is
+// what the laser-power inversions need when the transmission model is
+// non-smooth near channel collisions.
+func Bisect(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < maxIter; i++ {
+		m := a + (b-a)/2
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, ErrNoConvergence
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse
+// quadratic interpolation with bisection fallback). It requires a
+// sign change over [a, b] and converges superlinearly on smooth
+// functions while retaining bisection's robustness.
+func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, ErrNoBracket
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < maxIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = a + (b-a)/2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConvergence
+}
+
+// FindBracket expands the interval [a, b] geometrically until f
+// changes sign across it or maxExpand doublings have been tried. It
+// returns the bracketing interval. The search expands to the right
+// only (b grows), which matches its use for monotone laser-power
+// requirement functions that start negative at zero power.
+func FindBracket(f func(float64) float64, a, b float64, maxExpand int) (lo, hi float64, err error) {
+	if b <= a {
+		return 0, 0, errors.New("numeric: FindBracket requires a < b")
+	}
+	fa, fb := f(a), f(b)
+	for i := 0; i < maxExpand; i++ {
+		if math.Signbit(fa) != math.Signbit(fb) || fa == 0 || fb == 0 {
+			return a, b, nil
+		}
+		w := b - a
+		b += 2 * w
+		fb = f(b)
+	}
+	return 0, 0, ErrNoBracket
+}

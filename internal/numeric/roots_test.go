@@ -1,0 +1,94 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect sqrt(2) = %g", x)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	x, err := Bisect(f, 1, 3, 1e-12, 100)
+	if err != nil || x != 1 {
+		t.Errorf("Bisect endpoint root = %g, err=%v", x, err)
+	}
+	x, err = Bisect(f, 0, 1, 1e-12, 100)
+	if err != nil || x != 1 {
+		t.Errorf("Bisect right endpoint root = %g, err=%v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9, 100); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentAgreesWithBisect(t *testing.T) {
+	funcs := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+	}{
+		{"sqrt2", func(x float64) float64 { return x*x - 2 }, 0, 2},
+		{"cos", math.Cos, 1, 2},
+		{"cubic", func(x float64) float64 { return x*x*x - x - 2 }, 1, 2},
+		{"exp", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3},
+	}
+	for _, tc := range funcs {
+		xb, err1 := Bisect(tc.f, tc.a, tc.b, 1e-13, 200)
+		xr, err2 := Brent(tc.f, tc.a, tc.b, 1e-13, 200)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: errs %v %v", tc.name, err1, err2)
+		}
+		if math.Abs(xb-xr) > 1e-9 {
+			t.Errorf("%s: Bisect %g vs Brent %g", tc.name, xb, xr)
+		}
+		if r := tc.f(xr); math.Abs(r) > 1e-9 {
+			t.Errorf("%s: residual %g at Brent root", tc.name, r)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, -1, 1, 1e-9, 100); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestFindBracket(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	lo, hi, err := FindBracket(f, 0, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f(lo) <= 0 && f(hi) >= 0) {
+		t.Errorf("bracket [%g,%g] does not straddle root", lo, hi)
+	}
+	x, err := Bisect(f, lo, hi, 1e-10, 200)
+	if err != nil || math.Abs(x-100) > 1e-8 {
+		t.Errorf("root via expanded bracket = %g, err=%v", x, err)
+	}
+}
+
+func TestFindBracketFailure(t *testing.T) {
+	f := func(x float64) float64 { return 1.0 }
+	if _, _, err := FindBracket(f, 0, 1, 8); err == nil {
+		t.Error("expected failure for constant positive function")
+	}
+	if _, _, err := FindBracket(f, 1, 1, 8); err == nil {
+		t.Error("expected failure for empty interval")
+	}
+}

@@ -1,0 +1,74 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAPDValidate(t *testing.T) {
+	good := PaperAPD(1e-5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper APD rejected: %v", err)
+	}
+	bad := []APD{
+		{ResponsivityAPerW: 0, Gain: 10, ExcessNoiseExp: 0.5, NoiseCurrentA: 1e-5},
+		{ResponsivityAPerW: 0.4, Gain: 0.5, ExcessNoiseExp: 0.5, NoiseCurrentA: 1e-5},
+		{ResponsivityAPerW: 0.4, Gain: 10, ExcessNoiseExp: -0.1, NoiseCurrentA: 1e-5},
+		{ResponsivityAPerW: 0.4, Gain: 10, ExcessNoiseExp: 1.1, NoiseCurrentA: 1e-5},
+		{ResponsivityAPerW: 0.4, Gain: 10, ExcessNoiseExp: 0.5, NoiseCurrentA: 0},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad APD %d accepted", i)
+		}
+	}
+}
+
+func TestAPDExcessNoise(t *testing.T) {
+	a := APD{ResponsivityAPerW: 0.4, Gain: 100, ExcessNoiseExp: 0.5, NoiseCurrentA: 1e-5}
+	if got := a.ExcessNoiseFactor(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("F(100) = %g, want 10", got)
+	}
+	// SNR improvement M/sqrt(F) = 100/sqrt(10).
+	if got := a.SNRImprovement(); math.Abs(got-100/math.Sqrt(10)) > 1e-9 {
+		t.Errorf("SNR improvement = %g", got)
+	}
+	// Unity gain degenerates to a pin diode.
+	pin := APD{ResponsivityAPerW: 0.4, Gain: 1, ExcessNoiseExp: 0.7, NoiseCurrentA: 1e-5}
+	if got := pin.SNRImprovement(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("pin-equivalent improvement = %g", got)
+	}
+}
+
+func TestAPDEffectiveDetector(t *testing.T) {
+	a := PaperAPD(2e-5)
+	d := a.EffectiveDetector()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The effective detector's SNR for any power is exactly the pin
+	// SNR times the improvement factor.
+	pin := Photodetector{ResponsivityAPerW: a.ResponsivityAPerW, NoiseCurrentA: a.NoiseCurrentA}
+	for _, p := range []float64{0.01, 0.1, 1} {
+		want := pin.SNR(p) * a.SNRImprovement()
+		if got := d.SNR(p); math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("P=%g: SNR %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestAPDReducesRequiredPower(t *testing.T) {
+	// The future-work motivation: for the same SNR target, an APD
+	// needs M/sqrt(F) times less optical power.
+	a := PaperAPD(1e-5)
+	pin := Photodetector{ResponsivityAPerW: a.ResponsivityAPerW, NoiseCurrentA: a.NoiseCurrentA}
+	apd := a.EffectiveDetector()
+	snr := 9.5
+	ratio := pin.MinPowerForSNRMW(snr) / apd.MinPowerForSNRMW(snr)
+	if math.Abs(ratio-a.SNRImprovement())/a.SNRImprovement() > 1e-12 {
+		t.Errorf("power reduction %g, want %g", ratio, a.SNRImprovement())
+	}
+	if ratio < 5 {
+		t.Errorf("paper APD reduction only %gx", ratio)
+	}
+}

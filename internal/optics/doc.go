@@ -1,0 +1,31 @@
+// Package optics models the silicon-photonic devices that the optical
+// stochastic-computing architecture of El-Derhalli et al. (DATE 2019)
+// is built from:
+//
+//   - Mach–Zehnder interferometer (MZI) modulators characterized by
+//     insertion loss and extinction ratio (paper Eq. 7b), including a
+//     full interferometric phase model;
+//   - micro-ring resonators (MRRs) used both as electro-optic
+//     modulators (through-port transmission, paper Eq. 2) and as the
+//     all-optical add-drop multiplexing filter (drop-port
+//     transmission, paper Eq. 3);
+//   - two-photon-absorption (TPA) resonance tuning (paper Eq. 4) and
+//     its linearized optical tuning efficiency (OTE, nm/mW);
+//   - continuous-wave and 26 ps pulse-based lasers with lasing
+//     efficiency, splitters/combiners, a band-pass pump-rejection
+//     filter and an OOK photodetector with responsivity and internal
+//     noise current.
+//
+// # Unit conventions
+//
+// Wavelengths are nanometres (nm), optical powers milliwatts (mW),
+// photocurrents amperes (A), times seconds (s) and energies joules
+// (J). Decibel quantities are always spelled out in field names
+// (ILdB, ERdB); linear transmissions are dimensionless fractions in
+// [0, 1].
+//
+// The devices are deliberately pure functions of their parameters: no
+// hidden state, no randomness. Stochastic behaviour (detector noise,
+// bit-stream generation) lives in internal/transient and
+// internal/stochastic.
+package optics

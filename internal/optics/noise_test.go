@@ -1,0 +1,98 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func paperishNoise() NoiseModel {
+	return NoiseModel{
+		ThermalCurrentA:   2e-5,
+		ResponsivityAPerW: 1,
+		BandwidthHz:       1e9,
+		RINPerHz:          1e-15,
+	}
+}
+
+func TestNoiseModelValidate(t *testing.T) {
+	if err := paperishNoise().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []NoiseModel{
+		{ThermalCurrentA: 0, ResponsivityAPerW: 1, BandwidthHz: 1e9},
+		{ThermalCurrentA: 1e-5, ResponsivityAPerW: 0, BandwidthHz: 1e9},
+		{ThermalCurrentA: 1e-5, ResponsivityAPerW: 1, BandwidthHz: 0},
+		{ThermalCurrentA: 1e-5, ResponsivityAPerW: 1, BandwidthHz: 1e9, RINPerHz: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestNoiseGrowsWithPower(t *testing.T) {
+	m := paperishNoise()
+	prev := m.TotalCurrentA(0)
+	if math.Abs(prev-m.ThermalCurrentA) > 1e-18 {
+		t.Errorf("dark noise %g != thermal floor %g", prev, m.ThermalCurrentA)
+	}
+	for _, p := range []float64{0.1, 1, 10, 100} {
+		cur := m.TotalCurrentA(p)
+		if cur <= prev {
+			t.Fatalf("noise not increasing at %g mW", p)
+		}
+		prev = cur
+	}
+	if got := m.TotalCurrentA(-5); got != m.TotalCurrentA(0) {
+		t.Error("negative power not clamped")
+	}
+}
+
+func TestThermalLimitedAtPaperPowers(t *testing.T) {
+	// The paper's received powers (~0.1-0.5 mW) sit in the
+	// thermal-limited regime, justifying Eq. (8)'s constant i_n.
+	m := paperishNoise()
+	if f := m.ThermalLimitedFraction(0.5); f < 0.85 {
+		t.Errorf("thermal fraction %g at 0.5 mW; constant-i_n assumption shaky", f)
+	}
+	// At watt-level powers RIN/shot dominate and the assumption
+	// breaks — the regime the paper avoids.
+	if f := m.ThermalLimitedFraction(1000); f > 0.5 {
+		t.Errorf("thermal fraction %g at 1 W; model insensitive to power", f)
+	}
+}
+
+func TestNoiseSNRSublinear(t *testing.T) {
+	// Doubling both signal swing and average power less than doubles
+	// the SNR once power-dependent noise matters.
+	m := paperishNoise()
+	lo := m.SNR(0.4, 50)
+	hi := m.SNR(0.8, 100)
+	if hi >= 2*lo {
+		t.Errorf("SNR scaled superlinearly: %g -> %g", lo, hi)
+	}
+	// In the thermal-limited regime it is ~linear.
+	lo = m.SNR(0.4, 0.25)
+	hi = m.SNR(0.8, 0.5)
+	if r := hi / lo; math.Abs(r-2) > 0.1 {
+		t.Errorf("thermal-regime scaling %g, want ~2", r)
+	}
+}
+
+func TestEffectiveDetectorConsistency(t *testing.T) {
+	m := paperishNoise()
+	d := m.EffectiveDetector(0.3)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.NoiseCurrentA-m.TotalCurrentA(0.3)) > 1e-18 {
+		t.Error("lumped noise mismatch")
+	}
+	// The lumped detector agrees with the full model at the
+	// operating point.
+	want := m.SNR(0.1, 0.3)
+	if got := d.SNR(0.1); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("lumped SNR %g vs model %g", got, want)
+	}
+}

@@ -1,0 +1,94 @@
+package optics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SpectrumPoint is one wavelength sample of a transmission spectrum.
+type SpectrumPoint struct {
+	WavelengthNM float64
+	Transmission float64
+}
+
+// SampleSpectrum evaluates f at n equally spaced wavelengths covering
+// [loNM, hiNM] inclusive. It is used to regenerate the spectra of the
+// paper's Fig. 5(a)/(b).
+func SampleSpectrum(f func(lambdaNM float64) float64, loNM, hiNM float64, n int) []SpectrumPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]SpectrumPoint, n)
+	step := (hiNM - loNM) / float64(n-1)
+	for i := range pts {
+		l := loNM + float64(i)*step
+		pts[i] = SpectrumPoint{WavelengthNM: l, Transmission: f(l)}
+	}
+	return pts
+}
+
+// RenderSpectrumASCII writes a fixed-width ASCII plot of one or more
+// spectra sharing a wavelength axis. Each series is drawn with its
+// own rune. Transmissions are clipped to [0, 1]. The plot is `width`
+// columns wide and `height` rows tall.
+func RenderSpectrumASCII(w io.Writer, series map[rune][]SpectrumPoint, width, height int) error {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	var loNM, hiNM float64
+	first := true
+	for _, pts := range series {
+		for _, p := range pts {
+			if first || p.WavelengthNM < loNM {
+				loNM = p.WavelengthNM
+			}
+			if first || p.WavelengthNM > hiNM {
+				hiNM = p.WavelengthNM
+			}
+			first = false
+		}
+	}
+	if first {
+		return fmt.Errorf("optics: no spectra to render")
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for r, pts := range series {
+		for _, p := range pts {
+			col := 0
+			if hiNM > loNM {
+				col = int((p.WavelengthNM - loNM) / (hiNM - loNM) * float64(width-1))
+			}
+			t := p.Transmission
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			row := height - 1 - int(t*float64(height-1))
+			grid[row][col] = r
+		}
+	}
+	for i, line := range grid {
+		label := "      "
+		if i == 0 {
+			label = "1.0 | "
+		} else if i == height-1 {
+			label = "0.0 | "
+		} else {
+			label = "    | "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      %-*.2f%*.2f nm\n", width/2, loNM, width-width/2, hiNM)
+	return err
+}

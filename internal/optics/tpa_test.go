@@ -1,0 +1,88 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperOTEAnchor(t *testing.T) {
+	// [14]: a 0.1 nm shift for an average 10 mW pump.
+	if got := PaperOTE.ShiftNM(10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("PaperOTE.ShiftNM(10) = %g, want 0.1", got)
+	}
+}
+
+func TestOTETunerInversion(t *testing.T) {
+	tuner := OTETuner{OTENMPerMW: 0.01}
+	for _, shift := range []float64{0.1, 0.5, 2.1} {
+		p := tuner.PowerForShiftMW(shift)
+		if got := tuner.ShiftNM(p); math.Abs(got-shift) > 1e-12 {
+			t.Errorf("round trip shift %g -> %g", shift, got)
+		}
+	}
+	if got := tuner.PowerForShiftMW(0); got != 0 {
+		t.Errorf("zero shift power = %g", got)
+	}
+	if got := tuner.ShiftNM(-5); got != 0 {
+		t.Errorf("negative power shift = %g", got)
+	}
+}
+
+func TestOTEPaperPumpSizing(t *testing.T) {
+	// §V.A: reaching λ0 requires shifting the filter by
+	// λref - λ0 = 1550.1 - 1548 = 2.1 nm. At the raw OTE this would
+	// take 210 mW of *delivered* power; the quoted 591.8 mW is the
+	// source power before the 4.5 dB MZI insertion loss, checked in
+	// internal/core. Here we verify the delivered-power arithmetic.
+	if got := PaperOTE.PowerForShiftMW(2.1); math.Abs(got-210) > 1e-9 {
+		t.Errorf("delivered power for 2.1nm = %g mW, want 210", got)
+	}
+}
+
+func TestTPAModelLinearInPower(t *testing.T) {
+	m := TPAModel{N0: 3.2, N2M2PerW: 1e-17, CrossSectionM2: 1e-13, GroupIndex: 3.6}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s1 := m.ShiftNM(1550, 10)
+	s2 := m.ShiftNM(1550, 20)
+	if math.Abs(s2-2*s1) > 1e-12 {
+		t.Errorf("TPA shift not linear: %g vs %g", s1, s2)
+	}
+	if m.ShiftNM(1550, -1) != 0 {
+		t.Error("negative power should clamp to zero shift")
+	}
+}
+
+func TestTPAModelValidate(t *testing.T) {
+	if err := (TPAModel{N0: 0, CrossSectionM2: 1}).Validate(); err == nil {
+		t.Error("zero n0 accepted")
+	}
+	if err := (TPAModel{N0: 3, CrossSectionM2: 0}).Validate(); err == nil {
+		t.Error("zero cross-section accepted")
+	}
+}
+
+func TestCalibratedTPAMatchesOTE(t *testing.T) {
+	// Device-level model calibrated to the paper's OTE must agree
+	// with the linear tuner at every power (Eq. 4 is linear in P).
+	m := CalibratedTPAModel(1550, 0.01, 3.2, 3.6, 1e-13)
+	for _, p := range []float64{1, 10, 100, 591.8} {
+		want := PaperOTE.ShiftNM(p)
+		got := m.ShiftNM(1550, p)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("P=%g: TPA %g vs OTE %g", p, got, want)
+		}
+	}
+	ote := m.LinearizedOTE(1550)
+	if math.Abs(ote.OTENMPerMW-0.01) > 1e-12 {
+		t.Errorf("linearized OTE = %g", ote.OTENMPerMW)
+	}
+}
+
+func TestCalibratedTPADefaultGroupIndex(t *testing.T) {
+	m := CalibratedTPAModel(1550, 0.01, 3.2, 0, 1e-13)
+	if m.GroupIndex != 3.2 {
+		t.Errorf("default group index = %g, want n0", m.GroupIndex)
+	}
+}

@@ -1,0 +1,81 @@
+package optics
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Physical constants and common telecom quantities.
+const (
+	// SpeedOfLight in vacuum, m/s.
+	SpeedOfLight = 299792458.0
+
+	// CBandCenterNM is the conventional-band reference wavelength
+	// used throughout the paper's experiments (λ2 = 1550 nm).
+	CBandCenterNM = 1550.0
+)
+
+// DBToLinear converts a decibel power ratio to a linear fraction.
+// Insertion losses are conventionally quoted as positive dB values;
+// pass the negated value (or use LossToLinear).
+func DBToLinear(db float64) float64 { return numeric.DBToLinear(db) }
+
+// LinearToDB converts a linear power ratio to decibels.
+func LinearToDB(x float64) float64 { return numeric.LinearToDB(x) }
+
+// LossToLinear converts a positive insertion-loss figure in dB to the
+// transmitted power fraction: LossToLinear(4.5) ≈ 0.3548, the IL% of
+// the paper's reference MZI [10].
+func LossToLinear(lossDB float64) float64 {
+	return numeric.DBToLinear(-lossDB)
+}
+
+// ExtinctionToLinear converts a positive extinction ratio in dB to
+// the OFF/ON power fraction ER%: ExtinctionToLinear(13.22) ≈ 0.0476.
+func ExtinctionToLinear(erDB float64) float64 {
+	return numeric.DBToLinear(-erDB)
+}
+
+// WavelengthToFrequencyTHz converts a wavelength in nm to an optical
+// frequency in THz.
+func WavelengthToFrequencyTHz(lambdaNM float64) float64 {
+	if lambdaNM <= 0 {
+		return math.Inf(1)
+	}
+	return SpeedOfLight / lambdaNM / 1e3 // c[m/s] / λ[nm] = Hz*1e9; /1e3 => THz
+}
+
+// FrequencyTHzToWavelength converts an optical frequency in THz to a
+// wavelength in nm.
+func FrequencyTHzToWavelength(fTHz float64) float64 {
+	if fTHz <= 0 {
+		return math.Inf(1)
+	}
+	return SpeedOfLight / fTHz / 1e3
+}
+
+// PhotonEnergyJ returns the energy of a single photon at the given
+// wavelength in joules (used for shot-noise sanity checks).
+func PhotonEnergyJ(lambdaNM float64) float64 {
+	const planck = 6.62607015e-34 // J*s
+	return planck * SpeedOfLight / (lambdaNM * 1e-9)
+}
+
+// MilliwattsToWatts converts mW to W.
+func MilliwattsToWatts(mw float64) float64 { return mw * 1e-3 }
+
+// WattsToMilliwatts converts W to mW.
+func WattsToMilliwatts(w float64) float64 { return w * 1e3 }
+
+// EnergyJ returns the energy in joules of a constant power (mW)
+// applied for the given duration (s).
+func EnergyJ(powerMW, durationS float64) float64 {
+	return MilliwattsToWatts(powerMW) * durationS
+}
+
+// EnergyPJ returns the same energy expressed in picojoules, the unit
+// of the paper's Fig. 7.
+func EnergyPJ(powerMW, durationS float64) float64 {
+	return EnergyJ(powerMW, durationS) * 1e12
+}

@@ -1,0 +1,58 @@
+package optics
+
+import (
+	"fmt"
+)
+
+// Waveguide is a routing segment with distributed propagation loss
+// and discrete bend losses — the interconnect fabric between the
+// devices of the integrated circuit. The paper's model neglects
+// routing; production link budgets cannot.
+type Waveguide struct {
+	// LengthMM is the physical length.
+	LengthMM float64
+	// LossDBPerCM is the propagation loss (typical SOI strip
+	// waveguides: 1–3 dB/cm).
+	LossDBPerCM float64
+	// Bends counts 90° bends; BendLossDB is the loss per bend
+	// (typically 0.01–0.1 dB for tight SOI bends).
+	Bends      int
+	BendLossDB float64
+}
+
+// Validate reports whether the segment is physical.
+func (w Waveguide) Validate() error {
+	if w.LengthMM < 0 {
+		return fmt.Errorf("optics: negative waveguide length %g mm", w.LengthMM)
+	}
+	if w.LossDBPerCM < 0 || w.BendLossDB < 0 {
+		return fmt.Errorf("optics: negative waveguide loss")
+	}
+	if w.Bends < 0 {
+		return fmt.Errorf("optics: negative bend count")
+	}
+	return nil
+}
+
+// TotalLossDB returns the segment's total insertion loss.
+func (w Waveguide) TotalLossDB() float64 {
+	return w.LossDBPerCM*w.LengthMM/10 + float64(w.Bends)*w.BendLossDB
+}
+
+// Transmission returns the linear power transmission.
+func (w Waveguide) Transmission() float64 {
+	return LossToLinear(w.TotalLossDB())
+}
+
+// String implements fmt.Stringer.
+func (w Waveguide) String() string {
+	return fmt.Sprintf("Waveguide(%.2fmm @%.1fdB/cm, %d bends) = %.3fdB",
+		w.LengthMM, w.LossDBPerCM, w.Bends, w.TotalLossDB())
+}
+
+// TypicalRouting returns a representative on-chip routing segment for
+// the SC circuit's probe path: a few millimetres of strip waveguide
+// with a handful of bends.
+func TypicalRouting() Waveguide {
+	return Waveguide{LengthMM: 3, LossDBPerCM: 2, Bends: 6, BendLossDB: 0.02}
+}

@@ -1,0 +1,57 @@
+package optics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWaveguideLossArithmetic(t *testing.T) {
+	w := Waveguide{LengthMM: 10, LossDBPerCM: 2, Bends: 4, BendLossDB: 0.05}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 mm = 1 cm at 2 dB/cm plus 4×0.05 dB = 2.2 dB.
+	if got := w.TotalLossDB(); math.Abs(got-2.2) > 1e-12 {
+		t.Errorf("loss = %g dB", got)
+	}
+	if got := w.Transmission(); math.Abs(got-LossToLinear(2.2)) > 1e-15 {
+		t.Errorf("transmission = %g", got)
+	}
+}
+
+func TestWaveguideValidate(t *testing.T) {
+	bad := []Waveguide{
+		{LengthMM: -1},
+		{LengthMM: 1, LossDBPerCM: -1},
+		{LengthMM: 1, BendLossDB: -1},
+		{LengthMM: 1, Bends: -1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad waveguide %d accepted", i)
+		}
+	}
+}
+
+func TestWaveguideZeroIsTransparent(t *testing.T) {
+	var w Waveguide
+	if got := w.Transmission(); got != 1 {
+		t.Errorf("zero-length transmission = %g", got)
+	}
+}
+
+func TestTypicalRoutingModest(t *testing.T) {
+	w := TypicalRouting()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A few mm of routing costs well under 1 dB — small against the
+	// 4.5 dB MZI but not negligible in a tight budget.
+	if l := w.TotalLossDB(); l <= 0 || l > 1.5 {
+		t.Errorf("typical routing loss = %g dB", l)
+	}
+	if !strings.Contains(w.String(), "dB") {
+		t.Error("String formatting")
+	}
+}

@@ -1,0 +1,228 @@
+package stochastic
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Bitstream is a fixed-length sequence of bits packed 64 per word,
+// interpreted as a stochastic number: its value is the fraction of
+// ones. The zero value is an empty stream.
+type Bitstream struct {
+	words []uint64
+	n     int
+}
+
+// NewBitstream returns an all-zero stream of length n.
+func NewBitstream(n int) *Bitstream {
+	if n < 0 {
+		panic("stochastic: negative bitstream length")
+	}
+	return &Bitstream{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromBits builds a stream from a slice of 0/1 ints. Any non-zero
+// entry counts as 1.
+func FromBits(bits []int) *Bitstream {
+	b := NewBitstream(len(bits))
+	for i, v := range bits {
+		if v != 0 {
+			b.Set(i, 1)
+		}
+	}
+	return b
+}
+
+// Len returns the stream length in bits.
+func (b *Bitstream) Len() int { return b.n }
+
+// Get returns bit i (0 or 1).
+func (b *Bitstream) Get(i int) int {
+	b.check(i)
+	return int(b.words[i/64] >> (uint(i) % 64) & 1)
+}
+
+// Set assigns bit i.
+func (b *Bitstream) Set(i, v int) {
+	b.check(i)
+	mask := uint64(1) << (uint(i) % 64)
+	if v != 0 {
+		b.words[i/64] |= mask
+	} else {
+		b.words[i/64] &^= mask
+	}
+}
+
+func (b *Bitstream) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("stochastic: bit index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Ones returns the number of set bits.
+func (b *Bitstream) Ones() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Value returns the stochastic value: ones/length. An empty stream
+// has value 0.
+func (b *Bitstream) Value() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.Ones()) / float64(b.n)
+}
+
+// Clone returns a deep copy.
+func (b *Bitstream) Clone() *Bitstream {
+	c := NewBitstream(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// And returns the bitwise AND of b and o, the stochastic multiplier
+// for uncorrelated unipolar streams: E[a·b] = va·vb.
+func (b *Bitstream) And(o *Bitstream) *Bitstream {
+	b.sameLen(o)
+	out := NewBitstream(b.n)
+	for i := range b.words {
+		out.words[i] = b.words[i] & o.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// Or returns the bitwise OR of b and o.
+func (b *Bitstream) Or(o *Bitstream) *Bitstream {
+	b.sameLen(o)
+	out := NewBitstream(b.n)
+	for i := range b.words {
+		out.words[i] = b.words[i] | o.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// Xor returns the bitwise XOR of b and o.
+func (b *Bitstream) Xor(o *Bitstream) *Bitstream {
+	b.sameLen(o)
+	out := NewBitstream(b.n)
+	for i := range b.words {
+		out.words[i] = b.words[i] ^ o.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// Not returns the bitwise complement, the stochastic 1-v operation.
+func (b *Bitstream) Not() *Bitstream {
+	out := NewBitstream(b.n)
+	for i := range b.words {
+		out.words[i] = ^b.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// maskTail clears the unused high bits of the last word so popcounts
+// stay correct after whole-word operations like Not.
+func (b *Bitstream) maskTail() {
+	if rem := uint(b.n % 64); rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+func (b *Bitstream) sameLen(o *Bitstream) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("stochastic: length mismatch %d vs %d", b.n, o.n))
+	}
+}
+
+// Mux selects per-slot between inputs according to sel: output bit i
+// is inputs[sel.Get(i)].Get(i). With a select stream of value s this
+// computes the scaled addition s·b + (1-s)·a for inputs (a, b).
+func Mux(sel *Bitstream, inputs ...*Bitstream) *Bitstream {
+	if len(inputs) != 2 {
+		panic("stochastic: binary Mux needs exactly 2 inputs")
+	}
+	a, b := inputs[0], inputs[1]
+	a.sameLen(b)
+	a.sameLen(sel)
+	out := NewBitstream(a.n)
+	for i := range out.words {
+		out.words[i] = (a.words[i] &^ sel.words[i]) | (b.words[i] & sel.words[i])
+	}
+	out.maskTail()
+	return out
+}
+
+// MuxN selects per-slot among len(inputs) streams according to the
+// integer select values sel[i] ∈ [0, len(inputs)). This is the wide
+// multiplexer of the ReSC architecture (paper Fig. 1a). Out-of-range
+// selects panic: they indicate a broken adder.
+func MuxN(sel []int, inputs ...*Bitstream) *Bitstream {
+	if len(inputs) == 0 {
+		panic("stochastic: MuxN needs at least one input")
+	}
+	n := inputs[0].n
+	for _, in := range inputs[1:] {
+		inputs[0].sameLen(in)
+	}
+	if len(sel) != n {
+		panic(fmt.Sprintf("stochastic: select length %d vs stream length %d", len(sel), n))
+	}
+	out := NewBitstream(n)
+	for i, s := range sel {
+		if s < 0 || s >= len(inputs) {
+			panic(fmt.Sprintf("stochastic: select %d out of range [0,%d)", s, len(inputs)))
+		}
+		out.Set(i, inputs[s].Get(i))
+	}
+	return out
+}
+
+// Correlation returns the stochastic cross-correlation (SCC) of two
+// equal-length streams, in [-1, 1]: +1 for maximally overlapping
+// ones, -1 for maximally anti-overlapping, 0 for independence.
+func Correlation(a, b *Bitstream) float64 {
+	a.sameLen(b)
+	n := float64(a.n)
+	if n == 0 {
+		return 0
+	}
+	pa, pb := a.Value(), b.Value()
+	pab := a.And(b).Value()
+	d := pab - pa*pb
+	if d == 0 {
+		return 0
+	}
+	var denom float64
+	if d > 0 {
+		denom = math.Min(pa, pb) - pa*pb
+	} else {
+		denom = pa*pb - math.Max(pa+pb-1, 0)
+	}
+	if denom == 0 {
+		return 0
+	}
+	return d / denom
+}
+
+// String renders short streams as e.g. "0,1,1,0 (2/4)"; longer
+// streams render the counts only.
+func (b *Bitstream) String() string {
+	if b.n <= 32 {
+		parts := make([]string, b.n)
+		for i := 0; i < b.n; i++ {
+			parts[i] = fmt.Sprint(b.Get(i))
+		}
+		return fmt.Sprintf("%s (%d/%d)", strings.Join(parts, ","), b.Ones(), b.n)
+	}
+	return fmt.Sprintf("bitstream(%d/%d)", b.Ones(), b.n)
+}

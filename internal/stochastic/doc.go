@@ -1,0 +1,32 @@
+// Package stochastic implements the stochastic-computing (SC)
+// substrate of the reproduction: bit-streams interpreted as
+// probabilities, stochastic number generators (SNGs), elementary SC
+// arithmetic, Bernstein polynomials, and the electronic ReSC unit of
+// Qian et al. that the paper's Fig. 1 summarizes and that the optical
+// architecture (internal/core) transposes to the photonic domain.
+//
+// # Representation
+//
+// A stochastic bit-stream of length L encodes the value v ∈ [0, 1] as
+// a sequence with ⌈vL⌋ ones in random positions; the observed
+// fraction of ones is an unbiased estimator of v with variance
+// v(1-v)/L. Bitstream stores bits packed 64 per word.
+//
+// # Generators
+//
+// SNGs compare a pseudo-random number against the target probability.
+// The package provides a maximal-length Galois LFSR (the classic
+// hardware SNG), a deterministic counter source (unary SC), a
+// chaotic-map source inspired by the chaotic-laser random-bit
+// generation the paper cites as future work [20], and an adapter for
+// math/rand.
+//
+// # ReSC
+//
+// ReSC evaluates a Bernstein polynomial B(x) = Σ b_i B_{i,n}(x) by
+// feeding n independent stochastic streams of x into an adder whose
+// popcount selects one of n+1 coefficient streams through a
+// multiplexer (paper Fig. 1a). The de-randomizer counts ones at the
+// output. This electronic unit is the baseline the optical circuit is
+// compared against.
+package stochastic

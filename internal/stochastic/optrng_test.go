@@ -1,0 +1,115 @@
+package stochastic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThresholdForQuantiles(t *testing.T) {
+	// Analytic checks of the arcsine quantile: p=1/2 -> θ=1/2;
+	// extremes clamp.
+	if got := ThresholdFor(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("θ(0.5) = %g", got)
+	}
+	if ThresholdFor(0) != 1 || ThresholdFor(-1) != 1 {
+		t.Error("p<=0 must threshold everything out")
+	}
+	if ThresholdFor(1) != 0 || ThresholdFor(2) != 0 {
+		t.Error("p>=1 must pass everything")
+	}
+	// Monotone decreasing in p.
+	prev := 1.1
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		cur := ThresholdFor(p)
+		if cur >= prev {
+			t.Fatalf("θ not decreasing at p=%g", p)
+		}
+		prev = cur
+	}
+}
+
+func TestChaoticLaserSNGAccuracy(t *testing.T) {
+	g, err := NewChaoticLaserSNG(0.2718, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		b := g.Generate(p, 1<<16)
+		if math.Abs(b.Value()-p) > 0.02 {
+			t.Errorf("p=%g: estimate %g", p, b.Value())
+		}
+	}
+}
+
+func TestChaoticLaserSNGValidation(t *testing.T) {
+	if _, err := NewChaoticLaserSNG(0.3, -1); err == nil {
+		t.Error("negative decorrelation accepted")
+	}
+}
+
+func TestChaoticLaserStreamsUsableByReSC(t *testing.T) {
+	// The optical randomizer can drive the electronic ReSC: the
+	// paper's full-optical vision for the interfaces (future work
+	// iii).
+	poly := PaperF1()
+	// Distinct seeds and decorrelation counts keep the seven chaotic
+	// orbits mutually independent enough for the Bernstein identity.
+	mk := func(i int) NumberSource {
+		g, err := NewChaoticLaserSNG(0.11+0.097*float64(i), 2+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.AsNumberSource()
+	}
+	data := []NumberSource{mk(0), mk(1), mk(2)}
+	coef := []NumberSource{mk(3), mk(4), mk(5), mk(6)}
+	r, err := NewReSC(poly, data, coef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Evaluate(0.5, 1<<15)
+	// Physical RNGs trade a little bias for all-optical generation;
+	// allow a slightly wider band than the SplitMix baseline.
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("chaotic-driven ReSC f1(0.5) = %g", got)
+	}
+}
+
+func TestChaoticLaserLowSerialCorrelation(t *testing.T) {
+	// With decorrelation iterations the bit-to-bit correlation of a
+	// p=0.5 stream should be near zero.
+	g, err := NewChaoticLaserSNG(0.37, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 15
+	b := g.Generate(0.5, n)
+	// Lag-1 serial correlation via the shifted-stream SCC.
+	shifted := NewBitstream(n)
+	for i := 0; i < n-1; i++ {
+		shifted.Set(i, b.Get(i+1))
+	}
+	if c := Correlation(b, shifted); math.Abs(c) > 0.06 {
+		t.Errorf("lag-1 correlation = %g", c)
+	}
+}
+
+func TestChaoticAdapterUniform(t *testing.T) {
+	g, err := NewChaoticLaserSNG(0.41, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.AsNumberSource()
+	n := 1 << 14
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := src.Next()
+		if v < 0 || v > 1 {
+			t.Fatalf("sample %g outside [0,1]", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("adapter mean = %g", mean)
+	}
+}

@@ -1,0 +1,147 @@
+package stochastic
+
+import (
+	"fmt"
+)
+
+// ReSC is the electronic Reconfigurable Stochastic Computing unit of
+// Qian et al. summarized in the paper's Fig. 1(a): n data SNGs, n+1
+// coefficient SNGs, an adder counting the ones among the data bits,
+// and a multiplexer routing coefficient stream z_sum to the output.
+// The output counter de-randomizes the result.
+//
+// It evaluates the Bernstein polynomial B(x) = Σ b_i B_{i,n}(x)
+// because P(sum = i) = B_{i,n}(x) when the n data streams are
+// independent Bernoulli(x).
+type ReSC struct {
+	Poly BernsteinPoly
+	// DataSources drive the n data SNGs; CoefSources the n+1
+	// coefficient SNGs. All must be mutually independent for the
+	// Bernstein identity to hold.
+	DataSources []NumberSource
+	CoefSources []NumberSource
+}
+
+// NewReSC wires a ReSC unit for the polynomial with independent
+// sources. It returns an error if the polynomial is not
+// SC-representable or the source counts do not match the degree.
+func NewReSC(poly BernsteinPoly, data, coef []NumberSource) (*ReSC, error) {
+	n := poly.Degree()
+	if n < 0 {
+		return nil, fmt.Errorf("stochastic: empty polynomial")
+	}
+	if !poly.Representable() {
+		return nil, fmt.Errorf("stochastic: polynomial %v has coefficients outside [0,1]", poly)
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("stochastic: need %d data sources, got %d", n, len(data))
+	}
+	if len(coef) != n+1 {
+		return nil, fmt.Errorf("stochastic: need %d coefficient sources, got %d", n+1, len(coef))
+	}
+	return &ReSC{Poly: poly, DataSources: data, CoefSources: coef}, nil
+}
+
+// NewReSCWithSeeds builds a ReSC whose sources are independent
+// SplitMix64 streams derived from seed — the convenient constructor
+// for simulations.
+func NewReSCWithSeeds(poly BernsteinPoly, seed uint64) (*ReSC, error) {
+	n := poly.Degree()
+	data := make([]NumberSource, n)
+	for i := range data {
+		data[i] = NewSplitMix64(seed + uint64(i)*0x9E3779B9 + 1)
+	}
+	coef := make([]NumberSource, n+1)
+	for i := range coef {
+		coef[i] = NewSplitMix64(seed + 0xABCDEF + uint64(i)*0x61C88647)
+	}
+	return NewReSC(poly, data, coef)
+}
+
+// Degree returns the polynomial degree n.
+func (r *ReSC) Degree() int { return r.Poly.Degree() }
+
+// Step runs one clock cycle for input probability x and returns the
+// output bit along with the adder value (the MUX select).
+func (r *ReSC) Step(x float64) (bit, sel int) {
+	n := r.Degree()
+	sum := 0
+	for i := 0; i < n; i++ {
+		if sngBit(r.DataSources[i], x) == 1 {
+			sum++
+		}
+	}
+	zi := sngBit(r.CoefSources[sum], r.Poly.Coef[sum])
+	return zi, sum
+}
+
+func sngBit(src NumberSource, p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	if src.Next() < p {
+		return 1
+	}
+	return 0
+}
+
+// Evaluate runs `length` clock cycles at input x and returns the
+// de-randomized estimate of B(x) together with the raw output stream.
+func (r *ReSC) Evaluate(x float64, length int) (float64, *Bitstream) {
+	out := NewBitstream(length)
+	for t := 0; t < length; t++ {
+		bit, _ := r.Step(x)
+		out.Set(t, bit)
+	}
+	return out.Value(), out
+}
+
+// EvaluateStreams runs the combinational ReSC datapath on externally
+// supplied bit-streams (the form used by the paper's Fig. 1(b)
+// worked example): data[i] are the n streams of x, coef[i] the n+1
+// coefficient streams. It returns the output stream and the per-slot
+// adder values.
+func EvaluateStreams(data []*Bitstream, coef []*Bitstream) (*Bitstream, []int, error) {
+	n := len(data)
+	if len(coef) != n+1 {
+		return nil, nil, fmt.Errorf("stochastic: %d data streams need %d coefficient streams, got %d", n, n+1, len(coef))
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("stochastic: no data streams")
+	}
+	length := data[0].Len()
+	for _, d := range data[1:] {
+		if d.Len() != length {
+			return nil, nil, fmt.Errorf("stochastic: data stream length mismatch")
+		}
+	}
+	for _, c := range coef {
+		if c.Len() != length {
+			return nil, nil, fmt.Errorf("stochastic: coefficient stream length mismatch")
+		}
+	}
+	sel := make([]int, length)
+	for t := 0; t < length; t++ {
+		s := 0
+		for _, d := range data {
+			s += d.Get(t)
+		}
+		sel[t] = s
+	}
+	out := MuxN(sel, coef...)
+	return out, sel, nil
+}
+
+// EvaluateSweep evaluates the unit at each x in xs with fresh
+// `length`-bit streams and returns the estimates. It is the workload
+// behind accuracy-vs-stream-length studies.
+func (r *ReSC) EvaluateSweep(xs []float64, length int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i], _ = r.Evaluate(x, length)
+	}
+	return out
+}

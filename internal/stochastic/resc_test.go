@@ -1,0 +1,243 @@
+package stochastic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestPaperF1Coefficients(t *testing.T) {
+	p := PaperF1()
+	want := []float64{2.0 / 8, 5.0 / 8, 3.0 / 8, 6.0 / 8}
+	if p.Degree() != 3 {
+		t.Fatalf("degree = %d", p.Degree())
+	}
+	for i, w := range want {
+		if math.Abs(p.Coef[i]-w) > 1e-12 {
+			t.Errorf("coef[%d] = %g, want %g", i, p.Coef[i], w)
+		}
+	}
+	if !p.Representable() {
+		t.Error("paper polynomial not representable")
+	}
+	// f1(0.5) = 0.5 exactly.
+	if got := p.Eval(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("f1(0.5) = %g", got)
+	}
+}
+
+func TestReSCFig1WorkedExample(t *testing.T) {
+	// The paper's Fig. 1(b): 8-bit streams for x = 4/8 and the
+	// Bernstein coefficients (2/8, 5/8, 3/8, 6/8). The printed output
+	// stream is y = 0,1,0,0,1,1,0,1 (4/8), matching f1(0.5) = 0.5.
+	x1 := FromBits([]int{0, 0, 0, 1, 1, 0, 1, 1})
+	x2 := FromBits([]int{0, 1, 1, 1, 0, 0, 1, 0})
+	x3 := FromBits([]int{1, 1, 0, 1, 1, 0, 0, 0})
+	z0 := FromBits([]int{0, 0, 0, 1, 0, 1, 0, 0})
+	z1 := FromBits([]int{0, 1, 0, 1, 0, 1, 1, 1})
+	z2 := FromBits([]int{0, 1, 1, 0, 1, 0, 0, 0})
+	z3 := FromBits([]int{1, 1, 1, 0, 1, 1, 0, 1})
+
+	out, sel, err := EvaluateStreams([]*Bitstream{x1, x2, x3}, []*Bitstream{z0, z1, z2, z3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel := []int{1, 2, 1, 3, 2, 0, 2, 1}
+	for i, w := range wantSel {
+		if sel[i] != w {
+			t.Errorf("select[%d] = %d, want %d", i, sel[i], w)
+		}
+	}
+	wantOut := []int{0, 1, 0, 0, 1, 1, 0, 1}
+	for i, w := range wantOut {
+		if out.Get(i) != w {
+			t.Errorf("y[%d] = %d, want %d", i, out.Get(i), w)
+		}
+	}
+	if got := out.Value(); got != 0.5 {
+		t.Errorf("de-randomized output = %g, want 4/8", got)
+	}
+}
+
+func TestEvaluateStreamsErrors(t *testing.T) {
+	s8 := NewBitstream(8)
+	s9 := NewBitstream(9)
+	if _, _, err := EvaluateStreams(nil, []*Bitstream{s8}); err == nil {
+		t.Error("no data streams accepted")
+	}
+	if _, _, err := EvaluateStreams([]*Bitstream{s8}, []*Bitstream{s8}); err == nil {
+		t.Error("wrong coefficient count accepted")
+	}
+	if _, _, err := EvaluateStreams([]*Bitstream{s8, s9}, []*Bitstream{s8, s8, s8}); err == nil {
+		t.Error("ragged data accepted")
+	}
+	if _, _, err := EvaluateStreams([]*Bitstream{s8}, []*Bitstream{s8, s9}); err == nil {
+		t.Error("ragged coefficients accepted")
+	}
+}
+
+func TestNewReSCValidation(t *testing.T) {
+	poly := PaperF1()
+	if _, err := NewReSC(BernsteinPoly{}, nil, nil); err == nil {
+		t.Error("empty polynomial accepted")
+	}
+	bad := NewBernstein([]float64{0.5, 1.5})
+	if _, err := NewReSC(bad, make([]NumberSource, 1), make([]NumberSource, 2)); err == nil {
+		t.Error("unrepresentable polynomial accepted")
+	}
+	if _, err := NewReSC(poly, make([]NumberSource, 2), make([]NumberSource, 4)); err == nil {
+		t.Error("wrong data source count accepted")
+	}
+	if _, err := NewReSC(poly, make([]NumberSource, 3), make([]NumberSource, 3)); err == nil {
+		t.Error("wrong coef source count accepted")
+	}
+}
+
+func TestReSCConvergesToBernstein(t *testing.T) {
+	poly := PaperF1()
+	r, err := NewReSCWithSeeds(poly, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got, _ := r.Evaluate(x, 1<<16)
+		want := poly.Eval(x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("x=%g: ReSC %g vs analytic %g", x, got, want)
+		}
+	}
+}
+
+func TestReSCSelectDistribution(t *testing.T) {
+	// P(sel = i) should follow the Bernstein basis B_{i,n}(x).
+	poly := PaperF1()
+	r, _ := NewReSCWithSeeds(poly, 5)
+	x := 0.3
+	counts := make([]int, poly.Degree()+1)
+	n := 1 << 16
+	for i := 0; i < n; i++ {
+		_, sel := r.Step(x)
+		counts[sel]++
+	}
+	for i := range counts {
+		got := float64(counts[i]) / float64(n)
+		want := numeric.BernsteinBasis(i, poly.Degree(), x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(sel=%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestReSCPropertyOutputIsProbability(t *testing.T) {
+	f := func(seed uint64, xRaw float64) bool {
+		x := math.Mod(math.Abs(xRaw), 1)
+		poly := PaperF1()
+		r, err := NewReSCWithSeeds(poly, seed)
+		if err != nil {
+			return false
+		}
+		v, stream := r.Evaluate(x, 512)
+		return v >= 0 && v <= 1 && stream.Len() == 512
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReSCSweep(t *testing.T) {
+	poly := PaperF1()
+	r, _ := NewReSCWithSeeds(poly, 77)
+	xs := numeric.Linspace(0, 1, 11)
+	got := r.EvaluateSweep(xs, 4096)
+	if len(got) != len(xs) {
+		t.Fatalf("sweep length %d", len(got))
+	}
+	want := make([]float64, len(xs))
+	for i, x := range xs {
+		want[i] = poly.Eval(x)
+	}
+	if mae := numeric.MeanAbsError(got, want); mae > 0.02 {
+		t.Errorf("sweep MAE = %g", mae)
+	}
+}
+
+func TestGammaCorrectionPoly(t *testing.T) {
+	poly, maxErr, err := GammaCorrection(0.45, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Degree() != 6 {
+		t.Errorf("degree = %d", poly.Degree())
+	}
+	if !poly.Representable() {
+		t.Error("gamma polynomial not representable")
+	}
+	if maxErr > 0.1 {
+		t.Errorf("gamma maxErr = %g", maxErr)
+	}
+	if _, _, err := GammaCorrection(-1, 6); err == nil {
+		t.Error("negative gamma accepted")
+	}
+}
+
+func TestBernsteinElevationKeepsRepresentable(t *testing.T) {
+	p := PaperF1()
+	e := p.Elevate()
+	if e.Degree() != p.Degree()+1 {
+		t.Fatalf("elevated degree = %d", e.Degree())
+	}
+	if !e.Representable() {
+		t.Error("elevation left [0,1]")
+	}
+	for _, x := range numeric.Linspace(0, 1, 9) {
+		if math.Abs(e.Eval(x)-p.Eval(x)) > 1e-12 {
+			t.Errorf("elevation changed value at %g", x)
+		}
+	}
+}
+
+func TestFromPowerMatchesDirectEval(t *testing.T) {
+	// Check FromPower against Horner evaluation of the power form.
+	p := []float64{0.1, 0.4, -0.2, 0.05}
+	bp := FromPower(p)
+	for _, x := range numeric.Linspace(0, 1, 13) {
+		h := 0.0
+		for k := len(p) - 1; k >= 0; k-- {
+			h = h*x + p[k]
+		}
+		if math.Abs(bp.Eval(x)-h) > 1e-12 {
+			t.Errorf("x=%g: %g vs %g", x, bp.Eval(x), h)
+		}
+	}
+}
+
+func TestBernsteinString(t *testing.T) {
+	s := PaperF1().String()
+	if len(s) == 0 || s[:9] != "Bernstein" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestReSCAccuracyImprovesWithLength(t *testing.T) {
+	// Longer streams give lower RMS error — the throughput/accuracy
+	// trade-off the paper exploits (§V.B).
+	poly := PaperF1()
+	rms := func(length int) float64 {
+		s := 0.0
+		trials := 60
+		for tr := 0; tr < trials; tr++ {
+			r, _ := NewReSCWithSeeds(poly, uint64(300+tr))
+			got, _ := r.Evaluate(0.5, length)
+			d := got - poly.Eval(0.5)
+			s += d * d
+		}
+		return math.Sqrt(s / float64(trials))
+	}
+	short := rms(64)
+	long := rms(4096)
+	if long >= short {
+		t.Errorf("RMS did not improve with length: %g -> %g", short, long)
+	}
+}

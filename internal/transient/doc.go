@@ -1,0 +1,19 @@
+// Package transient implements the time-domain simulation the paper
+// lists as future work (§V.D item ii): clocked bit-slot simulation of
+// the optical stochastic-computing unit with additive Gaussian
+// detector noise, pulse-gated detection for the 26 ps pump laser, and
+// measurement of the resulting bit-error rate and end-to-end
+// computational accuracy.
+//
+// The noise model follows the paper's Eq. (8) exactly: the detector's
+// internal noise current i_n against responsivity R corresponds to a
+// received-power standard deviation of i_n/R, so the measured BER of
+// a simulation run converges to the analytical Eq. (9) prediction
+// when the worst-case signal/crosstalk patterns are transmitted.
+// That agreement is the package's main validation test.
+//
+// On top of the bit-level simulator the package provides the
+// throughput–accuracy trade-off study (§V.B): longer stochastic
+// streams average transmission errors away, letting a designer trade
+// probe laser power against stream length.
+package transient

@@ -1,0 +1,51 @@
+package transient
+
+import (
+	"math"
+
+	"repro/internal/stochastic"
+)
+
+// Gaussian draws normal deviates from a uniform NumberSource via the
+// Box–Muller transform. It is deterministic given the source, which
+// keeps transient simulations reproducible.
+type Gaussian struct {
+	src   stochastic.NumberSource
+	spare float64
+	has   bool
+}
+
+// NewGaussian wraps a uniform source.
+func NewGaussian(src stochastic.NumberSource) *Gaussian {
+	if src == nil {
+		panic("transient: nil NumberSource")
+	}
+	return &Gaussian{src: src}
+}
+
+// Next returns a standard normal deviate.
+func (g *Gaussian) Next() float64 {
+	if g.has {
+		g.has = false
+		return g.spare
+	}
+	// Box–Muller; reject u1 == 0 to avoid log(0).
+	var u1 float64
+	for {
+		u1 = g.src.Next()
+		if u1 > 0 {
+			break
+		}
+	}
+	u2 := g.src.Next()
+	r := math.Sqrt(-2 * math.Log(u1))
+	g.spare = r * math.Sin(2*math.Pi*u2)
+	g.has = true
+	return r * math.Cos(2*math.Pi*u2)
+}
+
+// NextScaled returns a normal deviate with the given standard
+// deviation.
+func (g *Gaussian) NextScaled(sigma float64) float64 {
+	return sigma * g.Next()
+}

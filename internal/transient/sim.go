@@ -1,0 +1,161 @@
+package transient
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stochastic"
+)
+
+// Simulator runs the optical SC unit bit slot by bit slot with
+// additive Gaussian detector noise.
+type Simulator struct {
+	Unit *core.Unit
+	// SigmaMW is the received-power noise standard deviation,
+	// i_n/R expressed in mW (see package doc).
+	SigmaMW float64
+
+	noise *Gaussian
+}
+
+// NewSimulator wraps a unit, deriving the noise level from the
+// circuit's photodetector.
+func NewSimulator(u *core.Unit, seed uint64) *Simulator {
+	det := u.Circuit.P.Detector
+	sigma := det.NoiseCurrentA / det.ResponsivityAPerW * 1e3 // A/(A/W) = W -> mW
+	return &Simulator{
+		Unit:    u,
+		SigmaMW: sigma,
+		noise:   NewGaussian(stochastic.NewSplitMix64(seed)),
+	}
+}
+
+// Step runs one noisy clock cycle at input probability x.
+func (s *Simulator) Step(x float64) core.StepResult {
+	return s.Unit.Step(x, s.noise.NextScaled(s.SigmaMW))
+}
+
+// Evaluate runs `length` noisy cycles and de-randomizes the output.
+func (s *Simulator) Evaluate(x float64, length int) (float64, *stochastic.Bitstream) {
+	out := stochastic.NewBitstream(length)
+	for t := 0; t < length; t++ {
+		out.Set(t, s.Step(x).Bit)
+	}
+	return out.Value(), out
+}
+
+// MeasureWorstCaseBER transmits the worst-case signal/crosstalk
+// patterns of Eq. (8) for `bits` slots and returns the observed
+// bit-error rate. Even slots carry the worst channel's '1' pattern
+// (only z_worst set); odd slots carry its '0' pattern (every other
+// coefficient set, maximizing crosstalk). The measurement converges
+// to the analytical Eq. (9) BER of the circuit.
+func (s *Simulator) MeasureWorstCaseBER(bits int) float64 {
+	c := s.Unit.Circuit
+	n := c.P.Order
+	_, worst := c.WorstCaseDelta()
+
+	onePattern := make([]int, n+1)
+	onePattern[worst] = 1
+	zeroPattern := make([]int, n+1)
+	for i := range zeroPattern {
+		if i != worst {
+			zeroPattern[i] = 1
+		}
+	}
+	oneLevel := c.ReceivedPowerMW(worst, onePattern)
+	zeroLevel := c.ReceivedPowerMW(worst, zeroPattern)
+	// The decision threshold for this channel pair sits midway
+	// between the pair's own levels, as the analytic SNR assumes.
+	threshold := (oneLevel + zeroLevel) / 2
+
+	errors := 0
+	for t := 0; t < bits; t++ {
+		var level float64
+		var want int
+		if t%2 == 0 {
+			level, want = oneLevel, 1
+		} else {
+			level, want = zeroLevel, 0
+		}
+		got := 0
+		if level+s.noise.NextScaled(s.SigmaMW) > threshold {
+			got = 1
+		}
+		if got != want {
+			errors++
+		}
+	}
+	return float64(errors) / float64(bits)
+}
+
+// AnalyticWorstCaseBER returns the Eq. (9) prediction for the same
+// worst-case pattern pair measured by MeasureWorstCaseBER: the level
+// separation over the noise sigma, halved for the midpoint threshold.
+func (s *Simulator) AnalyticWorstCaseBER() float64 {
+	c := s.Unit.Circuit
+	n := c.P.Order
+	_, worst := c.WorstCaseDelta()
+	onePattern := make([]int, n+1)
+	onePattern[worst] = 1
+	zeroPattern := make([]int, n+1)
+	for i := range zeroPattern {
+		if i != worst {
+			zeroPattern[i] = 1
+		}
+	}
+	oneLevel := c.ReceivedPowerMW(worst, onePattern)
+	zeroLevel := c.ReceivedPowerMW(worst, zeroPattern)
+	snr := (oneLevel - zeroLevel) / s.SigmaMW
+	if snr <= 0 {
+		return 0.5
+	}
+	return 0.5 * math.Erfc(snr/(2*math.Sqrt2))
+}
+
+// AccuracyPoint is one sample of the throughput–accuracy trade-off.
+type AccuracyPoint struct {
+	// StreamLen is the stochastic stream length (bits per result).
+	StreamLen int
+	// RMSE is the root-mean-square error of the de-randomized result
+	// against the analytic polynomial value, over `trials` runs.
+	RMSE float64
+	// ThroughputResultsPerSec is the resulting output rate at the
+	// circuit's bit rate.
+	ThroughputResultsPerSec float64
+}
+
+// AccuracyVsLength measures the end-to-end RMSE at input x for each
+// stream length, averaging over trials runs — the §V.B trade-off:
+// transmission errors and stochastic fluctuation both shrink as
+// streams lengthen, at proportional cost in throughput.
+func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) []AccuracyPoint {
+	if trials < 1 {
+		trials = 1
+	}
+	want := s.Unit.Poly.Eval(x)
+	out := make([]AccuracyPoint, 0, len(lengths))
+	for _, l := range lengths {
+		if l < 1 {
+			continue
+		}
+		sum := 0.0
+		for tr := 0; tr < trials; tr++ {
+			got, _ := s.Evaluate(x, l)
+			d := got - want
+			sum += d * d
+		}
+		out = append(out, AccuracyPoint{
+			StreamLen:               l,
+			RMSE:                    math.Sqrt(sum / float64(trials)),
+			ThroughputResultsPerSec: s.Unit.Circuit.P.ThroughputBitsPerSec(l),
+		})
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (p AccuracyPoint) String() string {
+	return fmt.Sprintf("L=%d: RMSE %.4f @ %.3g results/s", p.StreamLen, p.RMSE, p.ThroughputResultsPerSec)
+}

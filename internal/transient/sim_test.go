@@ -1,0 +1,177 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stochastic"
+)
+
+func newTestSim(t *testing.T, probeMW float64, seed uint64) *Simulator {
+	t.Helper()
+	p := core.PaperParams()
+	if probeMW > 0 {
+		p.ProbePowerMW = probeMW
+	}
+	c, err := core.NewCircuit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSimulator(u, seed+1)
+}
+
+func TestSigmaDerivedFromDetector(t *testing.T) {
+	s := newTestSim(t, 0, 1)
+	det := s.Unit.Circuit.P.Detector
+	want := det.NoiseCurrentA / det.ResponsivityAPerW * 1e3
+	if math.Abs(s.SigmaMW-want) > 1e-15 {
+		t.Errorf("sigma = %g, want %g", s.SigmaMW, want)
+	}
+}
+
+func TestMeasuredBERMatchesAnalytic(t *testing.T) {
+	// Size the probe power for a 1e-2 BER so a 200k-bit run gives
+	// ~2000 errors — tight statistics. Measured and analytic Eq. (9)
+	// must then agree within sampling error.
+	p := core.PaperParams()
+	c0 := core.MustCircuit(p)
+	p.ProbePowerMW = c0.MinProbePowerMW(1e-2)
+	c := core.MustCircuit(p)
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimulator(u, 10)
+
+	analytic := s.AnalyticWorstCaseBER()
+	measured := s.MeasureWorstCaseBER(200_000)
+	if analytic <= 0 {
+		t.Fatalf("analytic BER = %g", analytic)
+	}
+	ratio := measured / analytic
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("measured BER %g vs analytic %g (ratio %.2f)", measured, analytic, ratio)
+	}
+}
+
+func TestAnalyticWorstCaseTracksCircuitBER(t *testing.T) {
+	// The pattern-pair BER and the circuit's Eq. (9) BER use slightly
+	// different crosstalk accounting (simultaneous vs summed one-hot
+	// patterns); they must agree within an order of magnitude at
+	// moderate SNR.
+	p := core.PaperParams()
+	p.ProbePowerMW = core.MustCircuit(p).MinProbePowerMW(1e-3)
+	c := core.MustCircuit(p)
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimulator(u, 5)
+	a := s.AnalyticWorstCaseBER()
+	b := c.BER()
+	if a <= 0 || b <= 0 {
+		t.Fatalf("BERs: %g, %g", a, b)
+	}
+	if r := math.Log10(a / b); math.Abs(r) > 1.5 {
+		t.Errorf("pattern BER %g vs circuit BER %g differ by 10^%.1f", a, b, r)
+	}
+}
+
+func TestNoisyEvaluationStillConverges(t *testing.T) {
+	// At the paper's 1 mW probes the SNR is deep, so noise barely
+	// perturbs the result.
+	s := newTestSim(t, 0, 21)
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		got, _ := s.Evaluate(x, 1<<14)
+		want := s.Unit.Poly.Eval(x)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("x=%g: noisy %g vs analytic %g", x, got, want)
+		}
+	}
+}
+
+func TestAccuracyVsLengthTradeoff(t *testing.T) {
+	s := newTestSim(t, 0, 33)
+	pts := s.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096}, 40)
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// RMSE shrinks with stream length; throughput falls.
+	if !(pts[0].RMSE > pts[3].RMSE) {
+		t.Errorf("RMSE did not shrink: %v -> %v", pts[0], pts[3])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ThroughputResultsPerSec >= pts[i-1].ThroughputResultsPerSec {
+			t.Errorf("throughput not decreasing at %d", i)
+		}
+	}
+	// RMSE at length L is near the binomial limit sqrt(v(1-v)/L)
+	// when the channel is clean.
+	want := math.Sqrt(0.5 * 0.5 / 4096)
+	if pts[3].RMSE > 4*want {
+		t.Errorf("RMSE %g far above binomial floor %g", pts[3].RMSE, want)
+	}
+	if pts[0].String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAccuracyVsLengthDegenerate(t *testing.T) {
+	s := newTestSim(t, 0, 40)
+	pts := s.AccuracyVsLength(0.5, []int{0, -5, 16}, 0)
+	if len(pts) != 1 || pts[0].StreamLen != 16 {
+		t.Errorf("degenerate lengths mishandled: %v", pts)
+	}
+}
+
+func TestNoiseDegradesAccuracy(t *testing.T) {
+	// Artificially raising the noise floor must hurt the computation.
+	quiet := newTestSim(t, 0, 50)
+	noisy := newTestSim(t, 0, 50)
+	noisy.SigmaMW = 0.25 // comparable to the eye opening
+
+	rmse := func(s *Simulator) float64 {
+		pts := s.AccuracyVsLength(0.5, []int{512}, 60)
+		return pts[0].RMSE
+	}
+	q, n := rmse(quiet), rmse(noisy)
+	if n <= q {
+		t.Errorf("noise did not degrade accuracy: quiet %g vs noisy %g", q, n)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewGaussian(stochastic.NewSplitMix64(123))
+	n := 1 << 17
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Next()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gaussian mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("gaussian variance = %g", variance)
+	}
+	if v := g.NextScaled(3); math.Abs(v) > 30 {
+		t.Errorf("scaled deviate %g implausible", v)
+	}
+}
+
+func TestGaussianNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGaussian(nil) did not panic")
+		}
+	}()
+	NewGaussian(nil)
+}

@@ -1,0 +1,149 @@
+package transient
+
+import (
+	"fmt"
+	"math"
+)
+
+// SyncPoint is one sample of the detector-gating study: the sampling
+// offset within the bit slot and the resulting bit-error rate.
+type SyncPoint struct {
+	// OffsetS is the detector sampling instant relative to the slot
+	// start.
+	OffsetS float64
+	// BER is the measured error rate at that offset.
+	BER float64
+	// InPulse reports whether the offset falls inside the pump pulse
+	// window.
+	InPulse bool
+}
+
+// SyncSweep quantifies the synchronization requirement the paper's
+// §V.D raises for pulse-based pumps: the filter is only tuned while
+// the 26 ps pulse is present, so a detector sampling outside the
+// pulse window sees the relaxed (untuned) filter and the computation
+// fails. The sweep measures the worst-case BER at `points` sampling
+// offsets across one bit slot, with `bits` transmitted pattern pairs
+// per offset.
+//
+// Inside the pulse window the received level carries the selected
+// channel's power; outside it the filter rests at λref, where no
+// probe channel aligns, so the '1' level collapses onto the '0'
+// level and the BER rises toward 0.5.
+func (s *Simulator) SyncSweep(points, bits int) []SyncPoint {
+	if points < 2 {
+		points = 2
+	}
+	c := s.Unit.Circuit
+	p := c.P
+	bitT := p.BitPeriodS()
+	pulseT := p.PulseWidthS
+	if pulseT <= 0 || pulseT > bitT {
+		pulseT = bitT
+	}
+
+	n := p.Order
+	_, worst := c.WorstCaseDelta()
+	onePattern := make([]int, n+1)
+	onePattern[worst] = 1
+	zeroPattern := make([]int, n+1)
+	for i := range zeroPattern {
+		if i != worst {
+			zeroPattern[i] = 1
+		}
+	}
+	// In-pulse levels: filter tuned to the worst channel.
+	oneIn := c.ReceivedPowerMW(worst, onePattern)
+	zeroIn := c.ReceivedPowerMW(worst, zeroPattern)
+	// Out-of-pulse levels: filter relaxed to λref (no pump). The
+	// drop port then sits FilterOffset away from the top channel.
+	oneOut := s.relaxedPower(onePattern)
+	zeroOut := s.relaxedPower(zeroPattern)
+
+	threshold := (oneIn + zeroIn) / 2
+	out := make([]SyncPoint, 0, points)
+	for k := 0; k < points; k++ {
+		// Sample at slot midpoints so the window classification is
+		// unambiguous at the boundaries.
+		off := bitT * (float64(k) + 0.5) / float64(points)
+		inPulse := off < pulseT
+		oneLvl, zeroLvl := oneOut, zeroOut
+		if inPulse {
+			oneLvl, zeroLvl = oneIn, zeroIn
+		}
+		errs := 0
+		for t := 0; t < bits; t++ {
+			var lvl float64
+			var want int
+			if t%2 == 0 {
+				lvl, want = oneLvl, 1
+			} else {
+				lvl, want = zeroLvl, 0
+			}
+			got := 0
+			if lvl+s.noise.NextScaled(s.SigmaMW) > threshold {
+				got = 1
+			}
+			if got != want {
+				errs++
+			}
+		}
+		out = append(out, SyncPoint{
+			OffsetS: off,
+			BER:     float64(errs) / float64(bits),
+			InPulse: inPulse,
+		})
+	}
+	return out
+}
+
+// relaxedPower returns the received power with the filter at its
+// cold resonance (pump off).
+func (s *Simulator) relaxedPower(z []int) float64 {
+	c := s.Unit.Circuit
+	sum := 0.0
+	for i := range z {
+		sum += c.P.ProbePowerMW * c.ProbeTransmission(i, z, 0)
+	}
+	return sum
+}
+
+// String implements fmt.Stringer.
+func (p SyncPoint) String() string {
+	where := "outside pulse"
+	if p.InPulse {
+		where = "inside pulse"
+	}
+	return fmt.Sprintf("offset %6.1f ps: BER %.3g (%s)", p.OffsetS*1e12, p.BER, where)
+}
+
+// WorstInPulseBER and WorstOutOfPulseBER summarize a sweep.
+func WorstInPulseBER(pts []SyncPoint) float64 {
+	worst := 0.0
+	for _, p := range pts {
+		if p.InPulse && p.BER > worst {
+			worst = p.BER
+		}
+	}
+	return worst
+}
+
+// WorstOutOfPulseBER returns the best (lowest) BER outside the pulse
+// window — if even the best out-of-pulse offset is terrible, gating
+// is mandatory.
+func WorstOutOfPulseBER(pts []SyncPoint) float64 {
+	best := math.Inf(1)
+	any := false
+	for _, p := range pts {
+		if !p.InPulse {
+			any = true
+			if p.BER < best {
+				best = p.BER
+			}
+		}
+	}
+	if !any {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,65 @@
+package transient
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stochastic"
+)
+
+// WaterfallPoint is one probe power of a BER waterfall.
+type WaterfallPoint struct {
+	ProbeMW     float64
+	AnalyticBER float64
+	MeasuredBER float64
+}
+
+// BERWaterfall measures the worst-case bit-error rate at each probe
+// power and pairs it with the Eq. (9) prediction — the standard link
+// validation curve. Each point rebuilds the circuit at the given
+// power and transmits `bits` worst-case pattern pairs.
+func BERWaterfall(base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("transient: waterfall needs bits >= 1")
+	}
+	poly := defaultPoly(base.Order)
+	out := make([]WaterfallPoint, 0, len(powersMW))
+	for i, p := range powersMW {
+		if p <= 0 {
+			return nil, fmt.Errorf("transient: probe power %g not positive", p)
+		}
+		params := base
+		params.ProbePowerMW = p
+		c, err := core.NewCircuit(params)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.NewUnit(c, poly, seed+uint64(i)*0x9E3779B9)
+		if err != nil {
+			return nil, err
+		}
+		sim := NewSimulator(u, seed+uint64(i)*0x85EBCA6B+1)
+		out = append(out, WaterfallPoint{
+			ProbeMW:     p,
+			AnalyticBER: sim.AnalyticWorstCaseBER(),
+			MeasuredBER: sim.MeasureWorstCaseBER(bits),
+		})
+	}
+	return out, nil
+}
+
+// defaultPoly builds an arbitrary representable polynomial of the
+// needed degree (the waterfall only exercises the link, not the
+// polynomial).
+func defaultPoly(order int) stochastic.BernsteinPoly {
+	coef := make([]float64, order+1)
+	for i := range coef {
+		coef[i] = float64(i+1) / float64(order+2)
+	}
+	return stochastic.NewBernstein(coef)
+}
+
+// String implements fmt.Stringer.
+func (p WaterfallPoint) String() string {
+	return fmt.Sprintf("probe %.4f mW: measured %.3g, analytic %.3g", p.ProbeMW, p.MeasuredBER, p.AnalyticBER)
+}

@@ -1,0 +1,126 @@
+package transient
+
+import (
+	"fmt"
+	"math"
+)
+
+// TracePoint is one time sample of the transient waveform.
+type TracePoint struct {
+	// TimeS is the absolute simulation time.
+	TimeS float64
+	// PumpMW is the pump laser's instantaneous optical power at the
+	// source (a 26 ps pulse per bit slot for pulse-based designs).
+	PumpMW float64
+	// ReceivedMW is the noisy power at the photodetector.
+	ReceivedMW float64
+	// Gated reports whether the detector is being read at this
+	// sample (within the pump pulse window, §V.D's synchronization
+	// requirement).
+	Gated bool
+	// Bit is the decision taken in this sample's slot (constant over
+	// the slot).
+	Bit int
+}
+
+// Trace simulates `bits` slots at input probability x with
+// samplesPerBit time samples each and returns the waveform. The pump
+// fires at the start of each slot; detection is gated to the pulse
+// window, after which the filter relaxes and the received power is
+// meaningless for decision purposes (modeled as the signal decaying
+// to the unselected floor).
+func (s *Simulator) Trace(x float64, bits, samplesPerBit int) []TracePoint {
+	if samplesPerBit < 2 {
+		samplesPerBit = 2
+	}
+	p := s.Unit.Circuit.P
+	bitT := p.BitPeriodS()
+	pulseT := p.PulseWidthS
+	if pulseT <= 0 || pulseT > bitT {
+		pulseT = bitT // CW pump: gate the whole slot
+	}
+	out := make([]TracePoint, 0, bits*samplesPerBit)
+	for b := 0; b < bits; b++ {
+		r := s.Step(x)
+		slotStart := float64(b) * bitT
+		for k := 0; k < samplesPerBit; k++ {
+			ts := slotStart + bitT*float64(k)/float64(samplesPerBit)
+			inPulse := ts-slotStart < pulseT
+			pt := TracePoint{
+				TimeS: ts,
+				Gated: inPulse,
+				Bit:   r.Bit,
+			}
+			if inPulse {
+				pt.PumpMW = p.PumpPowerMW
+				pt.ReceivedMW = r.ReceivedMW + s.noise.NextScaled(s.SigmaMW)
+			} else {
+				// Filter relaxed: only the residual floor reaches
+				// the detector.
+				pt.ReceivedMW = s.noise.NextScaled(s.SigmaMW)
+			}
+			if pt.ReceivedMW < 0 {
+				pt.ReceivedMW = 0
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// EyeStats summarizes the gated received-power samples of a run,
+// grouped by the transmitted coefficient bit — the numerical
+// equivalent of an eye diagram at the decision instant.
+type EyeStats struct {
+	Count0, Count1 int
+	Mean0, Mean1   float64
+	Sigma0, Sigma1 float64
+	Max0, Min1     float64
+	// OpeningMW is Min1 − Max0; non-positive means the eye closed in
+	// this run.
+	OpeningMW float64
+}
+
+// MeasureEye runs `bits` noisy slots at input probability x and
+// aggregates the decision-instant statistics.
+func (s *Simulator) MeasureEye(x float64, bits int) EyeStats {
+	var e EyeStats
+	e.Max0 = math.Inf(-1)
+	e.Min1 = math.Inf(1)
+	var sum0, sum1, sq0, sq1 float64
+	for t := 0; t < bits; t++ {
+		r := s.Unit.Step(x, 0)
+		noisy := r.ReceivedMW + s.noise.NextScaled(s.SigmaMW)
+		if r.Z[r.Selected] == 1 {
+			e.Count1++
+			sum1 += noisy
+			sq1 += noisy * noisy
+			if noisy < e.Min1 {
+				e.Min1 = noisy
+			}
+		} else {
+			e.Count0++
+			sum0 += noisy
+			sq0 += noisy * noisy
+			if noisy > e.Max0 {
+				e.Max0 = noisy
+			}
+		}
+	}
+	if e.Count0 > 0 {
+		e.Mean0 = sum0 / float64(e.Count0)
+		e.Sigma0 = math.Sqrt(math.Max(0, sq0/float64(e.Count0)-e.Mean0*e.Mean0))
+	}
+	if e.Count1 > 0 {
+		e.Mean1 = sum1 / float64(e.Count1)
+		e.Sigma1 = math.Sqrt(math.Max(0, sq1/float64(e.Count1)-e.Mean1*e.Mean1))
+	}
+	e.OpeningMW = e.Min1 - e.Max0
+	return e
+}
+
+// String implements fmt.Stringer.
+func (e EyeStats) String() string {
+	return fmt.Sprintf("eye: '0' %.4f±%.4f mW (n=%d), '1' %.4f±%.4f mW (n=%d), opening %.4f mW",
+		e.Mean0, e.Sigma0, e.Count0, e.Mean1, e.Sigma1, e.Count1, e.OpeningMW)
+}
