@@ -208,6 +208,83 @@ func BenchmarkGammaCorrection(b *testing.B) {
 	b.ReportMetric(psnr, "PSNR_dB")
 }
 
+// BenchmarkGammaReSC contrasts the bit-serial ReSC gamma LUT build
+// against the word-parallel multi-core batch engine behind
+// img.GammaReSC — the tentpole speedup (≥5× expected: ~5× from
+// 64-bit packing alone, times the core count).
+func BenchmarkGammaReSC(b *testing.B) {
+	src := img.Radial(64, 64)
+	const gamma, degree, streamLen, seed = 0.45, 6, 1024, 11
+	poly, _, err := stochastic.GammaCorrection(gamma, degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < 256; v++ {
+				unit, err := stochastic.NewReSCWithSeeds(poly, stochastic.DeriveSeed(seed, v))
+				if err != nil {
+					b.Fatal(err)
+				}
+				unit.Evaluate(float64(v)/255, streamLen)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var out *img.Gray
+		for i := 0; i < b.N; i++ {
+			var err error
+			out, err = img.GammaReSC(src, gamma, degree, streamLen, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(img.PSNR(img.GammaExact(src, gamma), out), "PSNR_dB")
+	})
+}
+
+// BenchmarkGammaOptical is the optical-unit counterpart: per-level
+// bit-serial evaluation vs the unit's word-parallel EvaluateBatch.
+func BenchmarkGammaOptical(b *testing.B) {
+	src := img.Radial(64, 64)
+	const gamma, streamLen = 0.45, 1024
+	poly, _, err := stochastic.GammaCorrection(gamma, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.MRRFirst(core.MRRFirstSpec{Order: 6, WLSpacingNM: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := core.MustCircuit(p)
+	u, err := core.NewUnit(c, poly, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := make([]float64, 256)
+	for v := range levels {
+		levels[v] = float64(v) / 255
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range levels {
+				u.Evaluate(x, streamLen)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u.EvaluateBatch(levels, streamLen)
+		}
+	})
+	// End-to-end check of the batched image path at the same settings.
+	out, err := img.GammaOptical(src, gamma, 6, 0.3, streamLen, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(img.PSNR(img.GammaExact(src, gamma), out), "PSNR_dB")
+}
+
 // BenchmarkTransient measures the noisy time-domain simulator and
 // reports measured-vs-analytic worst-case BER agreement.
 func BenchmarkTransient(b *testing.B) {

@@ -9,6 +9,7 @@
 //	oscbench -fig 7a|7b        # energy studies
 //	oscbench -fig summary      # in-text anchors, paper vs measured
 //	oscbench -fig tradeoff     # throughput-accuracy extension (§V.B)
+//	oscbench -fig sweep        # noiseless accuracy vs stream length (batch engine)
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
 package main
 
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, ablation, all")
 	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a)")
 	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a)")
 	flag.Parse()
@@ -138,6 +139,18 @@ func run(fig string, gridN, sweepN int) error {
 		any = true
 		section("Throughput-accuracy trade-off (§V.B extension)")
 		if err := renderTradeoff(w); err != nil {
+			return err
+		}
+	}
+	if want("sweep") {
+		any = true
+		section("Accuracy vs stream length (word-parallel batch engine)")
+		const sweepPoints = 17
+		rows, err := dse.StreamLengthSweep([]int{64, 256, 1024, 4096, 16384}, sweepPoints, 9)
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderStreamLengthSweep(w, rows, sweepPoints); err != nil {
 			return err
 		}
 	}

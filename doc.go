@@ -1,6 +1,29 @@
 // Package repro is a from-scratch Go reproduction of H. El-Derhalli,
 // S. Le Beux and S. Tahar, "Stochastic Computing with Integrated
-// Optics", DATE 2019.
+// Optics", DATE 2019. The module path is "repro"; it builds with the
+// standard toolchain and no external dependencies.
+//
+// Quickstart:
+//
+//	go test ./...                  # full verification suite
+//	go run ./examples/quickstart   # build the paper circuit, evaluate
+//	go test -bench=. -benchmem     # regenerate the paper's figures
+//
+// # Evaluation engines
+//
+// Every stochastic evaluator comes in two equivalent forms. The
+// bit-serial path (ReSC.Step/Evaluate, core.Unit.Step/Evaluate)
+// advances one clock per call and serves as the oracle. The
+// word-parallel path simulates 64 clocks per machine word — SNG words
+// (stochastic.SNG.NextWord/GenerateWords), a bitwise carry-save adder
+// tree for the data-bit sum (stochastic.AddPlane/PlaneEquals), and a
+// word-at-a-time multiplexer / decision-table lookup — and emits
+// bit-identical streams (ReSC.EvaluateWords, core.Unit.EvaluateWords).
+// On top of that, stochastic.EvaluateBatch and core.Unit.EvaluateBatch
+// fan independent inputs out over a runtime.NumCPU() worker pool with
+// per-input seeds derived by stochastic.DeriveSeed, so batch results
+// are reproducible on any core count. The gamma-correction LUTs,
+// sweeps and oscbench all run through the batch engine.
 //
 // The implementation lives in internal/ packages:
 //
@@ -8,8 +31,11 @@
 //     minimization, linear algebra, Bernstein bases);
 //   - internal/optics — silicon-photonic device models (MZI, micro-
 //     ring resonators, TPA tuning, lasers, photodetector);
-//   - internal/stochastic — stochastic-computing substrate and the
-//     electronic ReSC baseline of the paper's Fig. 1;
+//   - internal/stochastic — stochastic-computing substrate, the
+//     electronic ReSC baseline of the paper's Fig. 1, and the packed
+//     word-parallel evaluation engine;
+//   - internal/parallel — the worker-pool primitive behind the batch
+//     evaluators;
 //   - internal/core — the optical SC architecture: transmission model
 //     (Eqs. 5–7), SNR/BER (Eqs. 8–9), MRR-first and MZI-first design
 //     methods, the pulsed-pump energy model and a reconfigurable

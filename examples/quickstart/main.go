@@ -47,6 +47,16 @@ func main() {
 		fmt.Printf("%-6.2f %-10.4f %-10.4f %-10.4f\n", x, poly.Eval(x), optical, electronic)
 	}
 
+	// The same sweep through the word-parallel batch engine: inputs
+	// fan out over all cores, each with index-derived randomness, so
+	// the result is reproducible on any machine.
+	xs := []float64{0, 0.25, 0.5, 0.75, 1}
+	batch := unit.EvaluateBatch(xs, bits)
+	fmt.Printf("\n%-6s %-10s\n", "x", "batch")
+	for i, x := range xs {
+		fmt.Printf("%-6.2f %-10.4f\n", x, batch[i])
+	}
+
 	e := core.ParamsEnergy(params)
 	fmt.Printf("\nlaser energy: %.1f pJ per computed bit (pump %.1f + %d probes %.1f)\n",
 		e.TotalPJ(), e.PumpPJ, e.ProbeLasers, e.ProbePJ)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/stochastic"
+)
+
+// This file is the word-parallel mirror of the packed ReSC engine in
+// internal/stochastic for the end-to-end optical unit. The noiseless
+// optical datapath is a pure function of the data weight and the
+// coefficient bit-vector — received power thresholded against the
+// calibrated OOK decision level — so 64 clock cycles collapse to: SNG
+// words, a carry-save adder tree for the weight, and a lookup in a
+// precomputed (weight, z-mask) → bit table. The packed path emits
+// bitstreams identical to the serial Step/Evaluate path.
+
+// maxDecisionOrder bounds the orders whose 2^(n+1)-entry decision
+// table is tabulated — the same practicality bound as powerCache and
+// Circuit.PowerBands (which NewUnit already enumerates).
+const maxDecisionOrder = 16
+
+// decisionTable returns the noiseless output-bit table,
+// decisions[weight] a bitset indexed by coefficient z-mask, building
+// it on first use. The build enumerates the circuit directly rather
+// than through powerCache so the finished table is immutable and
+// lock-free to share across batch workers. Returns nil for orders too
+// large to tabulate.
+func (u *Unit) decisionTable() [][]uint64 {
+	n := u.Circuit.P.Order
+	if n > maxDecisionOrder {
+		return nil
+	}
+	u.decOnce.Do(func() {
+		masks := 1 << (n + 1)
+		z := make([]int, n+1)
+		rows := make([][]uint64, n+1)
+		for w := range rows {
+			row := make([]uint64, (masks+63)/64)
+			for zmask := 0; zmask < masks; zmask++ {
+				for b := range z {
+					z[b] = zmask >> b & 1
+				}
+				if u.Circuit.ReceivedPowerMW(w, z) > u.thresholdMW {
+					row[zmask/64] |= 1 << uint(zmask%64)
+				}
+			}
+			rows[w] = row
+		}
+		u.decisions = rows
+	})
+	return u.decisions
+}
+
+// evalPacked runs `length` cycles of the word-parallel datapath with
+// the given generators and decision table, 64 cycles per iteration.
+func (u *Unit) evalPacked(dec [][]uint64, data, coef []*stochastic.SNG, x float64, length int) *stochastic.Bitstream {
+	n := u.Circuit.P.Order
+	out := stochastic.NewBitstream(length)
+	var planes []uint64
+	coefWords := make([]uint64, n+1)
+	for w := 0; w < out.WordCount(); w++ {
+		nbits := out.WordBits(w)
+		planes = planes[:0]
+		for i := 0; i < n; i++ {
+			planes = stochastic.AddPlane(planes, data[i].NextWord(x, nbits))
+		}
+		for i := 0; i <= n; i++ {
+			coefWords[i] = coef[i].NextWord(u.Poly.Coef[i], nbits)
+		}
+		var word uint64
+		for t := 0; t < nbits; t++ {
+			weight := 0
+			for k, pl := range planes {
+				weight |= int(pl>>uint(t)&1) << uint(k)
+			}
+			zmask := 0
+			for i, cw := range coefWords {
+				zmask |= int(cw>>uint(t)&1) << uint(i)
+			}
+			word |= dec[weight][zmask/64] >> uint(zmask%64) & 1 << uint(t)
+		}
+		out.SetWord(w, word)
+	}
+	return out
+}
+
+// EvaluateWords runs `length` noiseless cycles at input x through the
+// word-parallel datapath and returns the de-randomized estimate of
+// B(x) with the raw output stream. It advances the unit's generators
+// exactly as Evaluate does and emits an identical bitstream; orders
+// beyond maxDecisionOrder fall back to the bit-serial path.
+func (u *Unit) EvaluateWords(x float64, length int) (float64, *stochastic.Bitstream) {
+	dec := u.decisionTable()
+	if dec == nil {
+		return u.Evaluate(x, length)
+	}
+	out := u.evalPacked(dec, u.dataSNG, u.coefSNG, x, length)
+	return out.Value(), out
+}
+
+// evalSeeded evaluates one batch input with fresh sources derived
+// from seed only — the reproducible per-index unit of work behind
+// EvaluateBatch. Falls back to a cache-free serial walk for orders
+// too large to tabulate.
+func (u *Unit) evalSeeded(seed uint64, x float64, length int) float64 {
+	data, coef := seededSNGs(u.Circuit.P.Order, seed)
+	if dec := u.decisionTable(); dec != nil {
+		return u.evalPacked(dec, data, coef, x, length).Value()
+	}
+	n := u.Circuit.P.Order
+	z := make([]int, n+1)
+	ones := 0
+	for t := 0; t < length; t++ {
+		weight := 0
+		for i := 0; i < n; i++ {
+			weight += data[i].NextBit(x)
+		}
+		for i := range z {
+			z[i] = coef[i].NextBit(u.Poly.Coef[i])
+		}
+		if u.Circuit.ReceivedPowerMW(weight, z) > u.thresholdMW {
+			ones++
+		}
+	}
+	if length == 0 {
+		return 0
+	}
+	return float64(ones) / float64(length)
+}
+
+// EvaluateBatch computes B(x) for every input with fresh `length`-bit
+// streams, fanning the inputs out over a runtime.NumCPU()-sized
+// worker pool. Input i is evaluated with sources seeded from the
+// unit's seed and i only (stochastic.DeriveSeed), so the result is
+// reproducible regardless of core count or scheduling. The shared
+// circuit state (decision table, threshold) is read-only during the
+// fan-out; EvaluateBatch may itself be called concurrently.
+func (u *Unit) EvaluateBatch(xs []float64, length int) []float64 {
+	u.decisionTable() // build once, outside the workers
+	out := make([]float64, len(xs))
+	parallel.For(len(xs), func(i int) {
+		out[i] = u.evalSeeded(stochastic.DeriveSeed(u.seed, i), xs[i], length)
+	})
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stochastic"
+)
+
+// gammaUnit builds a degree-6 optical unit (the §V.C application
+// order) for the packed-path tests.
+func gammaUnit(t *testing.T, seed uint64) *Unit {
+	t.Helper()
+	poly, _, err := stochastic.GammaCorrection(0.45, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MRRFirst(MRRFirstSpec{Order: 6, WLSpacingNM: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCircuit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUnit(c, poly, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestUnitEvaluateWordsMatchesEvaluate is the optical-side tentpole
+// equivalence: the word-parallel datapath must emit the same
+// bitstream as the bit-serial Step loop, for the order-2 paper design
+// and the order-6 gamma design, across seeds and awkward lengths.
+func TestUnitEvaluateWordsMatchesEvaluate(t *testing.T) {
+	builders := map[string]func(*testing.T, uint64) *Unit{
+		"paper-order2": paperUnit,
+		"gamma-order6": gammaUnit,
+	}
+	for name, build := range builders {
+		for _, seed := range []uint64{3, 1234} {
+			serial := build(t, seed)
+			packed := build(t, seed)
+			for _, length := range []int{1, 63, 64, 65, 500} {
+				for _, x := range []float64{0, 0.3, 0.8, 1} {
+					vs, bs := serial.Evaluate(x, length)
+					vp, bp := packed.EvaluateWords(x, length)
+					if vs != vp {
+						t.Fatalf("%s seed %d len %d x=%g: value %g vs %g", name, seed, length, x, vs, vp)
+					}
+					for w := 0; w < bs.WordCount(); w++ {
+						if bs.Word(w) != bp.Word(w) {
+							t.Fatalf("%s seed %d len %d x=%g: word %d %x vs %x",
+								name, seed, length, x, w, bs.Word(w), bp.Word(w))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnitEvaluateBatchMatchesSeededOracle(t *testing.T) {
+	u := paperUnit(t, 21)
+	oracle := paperUnit(t, 21)
+	xs := []float64{0, 0.2, 0.5, 0.9, 1}
+	const length = 300
+	got := u.EvaluateBatch(xs, length)
+	if len(got) != len(xs) {
+		t.Fatalf("batch length %d", len(got))
+	}
+	for i, x := range xs {
+		want := oracle.evalSeeded(stochastic.DeriveSeed(oracle.seed, i), x, length)
+		if got[i] != want {
+			t.Errorf("x[%d]=%g: batch %g vs seeded oracle %g", i, x, got[i], want)
+		}
+	}
+	again := paperUnit(t, 21).EvaluateBatch(xs, length)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Errorf("batch not reproducible at %d: %g vs %g", i, got[i], again[i])
+		}
+	}
+}
+
+// TestUnitEvalSeededFallbackMatchesPacked pins the cache-free serial
+// fallback (used beyond maxDecisionOrder) to the packed path on a
+// tabulatable order, so the two implementations cannot drift.
+func TestUnitEvalSeededFallbackMatchesPacked(t *testing.T) {
+	u := paperUnit(t, 17)
+	dec := u.decisionTable()
+	if dec == nil {
+		t.Fatal("order 2 should tabulate")
+	}
+	for i, x := range []float64{0, 0.4, 1} {
+		seed := stochastic.DeriveSeed(99, i)
+		data, coef := seededSNGs(u.Circuit.P.Order, seed)
+		packed := u.evalPacked(dec, data, coef, x, 257).Value()
+
+		// Re-run through the serial fallback by hiding the table.
+		fresh := paperUnit(t, 17)
+		fresh.decOnce.Do(func() {}) // leave decisions nil
+		serial := fresh.evalSeeded(seed, x, 257)
+		if packed != serial {
+			t.Errorf("x=%g: packed %g vs serial fallback %g", x, packed, serial)
+		}
+	}
+}
+
+func TestUnitEvaluateBatchAccuracy(t *testing.T) {
+	u := paperUnit(t, 2024)
+	xs := []float64{0, 0.25, 0.5, 0.75, 1}
+	got := u.EvaluateBatch(xs, 1<<15)
+	for i, x := range xs {
+		want := u.Poly.Eval(x)
+		if math.Abs(got[i]-want) > 0.015 {
+			t.Errorf("x=%g: batch %g vs analytic %g", x, got[i], want)
+		}
+	}
+}
+
+// TestUnitEvaluateBatchRace exercises concurrent EvaluateBatch calls
+// on one shared unit (shared decision table, per-index sources);
+// `go test -race` turns it into a data-race check.
+func TestUnitEvaluateBatchRace(t *testing.T) {
+	u := paperUnit(t, 8)
+	xs := make([]float64, 48)
+	for i := range xs {
+		xs[i] = float64(i) / 47
+	}
+	done := make(chan []float64, 4)
+	for g := 0; g < 4; g++ {
+		go func() { done <- u.EvaluateBatch(xs, 256) }()
+	}
+	first := <-done
+	for g := 1; g < 4; g++ {
+		other := <-done
+		for i := range first {
+			if first[i] != other[i] {
+				t.Fatalf("concurrent batches disagree at %d: %g vs %g", i, first[i], other[i])
+			}
+		}
+	}
+}
+
+func BenchmarkUnitEvaluateSerial(b *testing.B) {
+	c := MustCircuit(PaperParams())
+	u, err := NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Evaluate(0.5, 4096)
+	}
+}
+
+func BenchmarkUnitEvaluateWords(b *testing.B) {
+	c := MustCircuit(PaperParams())
+	u, err := NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u.decisionTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.EvaluateWords(0.5, 4096)
+	}
+}
+
+func BenchmarkUnitEvaluateBatch(b *testing.B) {
+	c := MustCircuit(PaperParams())
+	u, err := NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = float64(i) / 255
+	}
+	u.decisionTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.EvaluateBatch(xs, 4096)
+	}
+}

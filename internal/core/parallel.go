@@ -38,7 +38,8 @@ func (a *ParallelArray) Lanes() int { return len(a.Units) }
 
 // EvaluateBatch computes B(x) for every input with `length`-bit
 // streams, distributing inputs across lanes (one goroutine per lane,
-// strided assignment, no shared mutable state).
+// strided assignment, no shared mutable state). Each lane runs the
+// word-parallel evaluator.
 func (a *ParallelArray) EvaluateBatch(xs []float64, length int) []float64 {
 	out := make([]float64, len(xs))
 	var wg sync.WaitGroup
@@ -47,7 +48,7 @@ func (a *ParallelArray) EvaluateBatch(xs []float64, length int) []float64 {
 		go func(lane int, u *Unit) {
 			defer wg.Done()
 			for i := lane; i < len(xs); i += len(a.Units) {
-				out[i], _ = u.Evaluate(xs[i], length)
+				out[i], _ = u.EvaluateWords(xs[i], length)
 			}
 		}(lane, u)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/stochastic"
 )
@@ -22,6 +23,7 @@ type Unit struct {
 	dataSNG []*stochastic.SNG
 	coefSNG []*stochastic.SNG
 
+	seed        uint64
 	thresholdMW float64
 
 	// powerCache memoizes ReceivedPowerMW by (weight, z-bitmask):
@@ -30,6 +32,13 @@ type Unit struct {
 	// Indexed [weight][zmask]; negative entries mean "not computed".
 	// Nil for orders too large to tabulate.
 	powerCache [][]float64
+
+	// decisions is the fully-tabulated noiseless output bit,
+	// decisions[weight] a bitset over z-masks, built once on first
+	// word-parallel evaluation (see decisionTable). Immutable after
+	// decOnce fires, so the batch workers share it without locking.
+	decOnce   sync.Once
+	decisions [][]uint64
 }
 
 // NewUnit builds a unit for the polynomial on the given circuit. The
@@ -43,15 +52,8 @@ func NewUnit(c *Circuit, poly stochastic.BernsteinPoly, seed uint64) (*Unit, err
 	if !poly.Representable() {
 		return nil, fmt.Errorf("core: polynomial %v not SC-representable", poly)
 	}
-	u := &Unit{Circuit: c, Poly: poly}
-	u.dataSNG = make([]*stochastic.SNG, c.P.Order)
-	for i := range u.dataSNG {
-		u.dataSNG[i] = stochastic.NewSNG(stochastic.NewSplitMix64(seed + uint64(i)*0x9E3779B9 + 1))
-	}
-	u.coefSNG = make([]*stochastic.SNG, c.P.Order+1)
-	for i := range u.coefSNG {
-		u.coefSNG[i] = stochastic.NewSNG(stochastic.NewSplitMix64(seed + 0x5DEECE66D + uint64(i)*0x61C88647))
-	}
+	u := &Unit{Circuit: c, Poly: poly, seed: seed}
+	u.dataSNG, u.coefSNG = seededSNGs(c.P.Order, seed)
 	u.thresholdMW = c.Decider().ThresholdMW
 	if n := c.P.Order; n <= 16 {
 		u.powerCache = make([][]float64, n+1)
@@ -64,6 +66,20 @@ func NewUnit(c *Circuit, poly stochastic.BernsteinPoly, seed uint64) (*Unit, err
 		}
 	}
 	return u, nil
+}
+
+// seededSNGs derives the unit's n data and n+1 coefficient generators
+// from a base seed as independent SplitMix64 streams.
+func seededSNGs(order int, seed uint64) (data, coef []*stochastic.SNG) {
+	data = make([]*stochastic.SNG, order)
+	for i := range data {
+		data[i] = stochastic.NewSNG(stochastic.NewSplitMix64(seed + uint64(i)*0x9E3779B9 + 1))
+	}
+	coef = make([]*stochastic.SNG, order+1)
+	for i := range coef {
+		coef[i] = stochastic.NewSNG(stochastic.NewSplitMix64(seed + 0x5DEECE66D + uint64(i)*0x61C88647))
+	}
+	return data, coef
 }
 
 // receivedMW returns the cached received power for a data weight and
@@ -133,11 +149,11 @@ func (u *Unit) Evaluate(x float64, length int) (float64, *stochastic.Bitstream) 
 	return out.Value(), out
 }
 
-// EvaluateSweep evaluates the unit across xs with fresh streams.
+// EvaluateSweep evaluates the unit across xs, one fresh `length`-bit
+// stream per point. It is EvaluateBatch: randomness derives from the
+// unit's seed and the point index (not from the unit's own advancing
+// generators), so repeated sweeps on one unit return identical
+// results; interleave Evaluate calls for independent repetitions.
 func (u *Unit) EvaluateSweep(xs []float64, length int) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i], _ = u.Evaluate(x, length)
-	}
-	return out
+	return u.EvaluateBatch(xs, length)
 }

@@ -231,3 +231,31 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("table output:\n%s", out)
 	}
 }
+
+func TestStreamLengthSweep(t *testing.T) {
+	rows, err := StreamLengthSweep([]int{64, 4096}, 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].RMSEElectronic >= rows[0].RMSEElectronic {
+		t.Errorf("electronic RMSE did not fall with length: %g -> %g",
+			rows[0].RMSEElectronic, rows[1].RMSEElectronic)
+	}
+	if rows[1].RMSEOptical >= rows[0].RMSEOptical {
+		t.Errorf("optical RMSE did not fall with length: %g -> %g",
+			rows[0].RMSEOptical, rows[1].RMSEOptical)
+	}
+	var sb strings.Builder
+	if err := RenderStreamLengthSweep(&sb, rows, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "4096") {
+		t.Errorf("render missing rows:\n%s", sb.String())
+	}
+	if _, err := StreamLengthSweep([]int{0}, 9, 7); err == nil {
+		t.Error("zero stream length accepted")
+	}
+}

@@ -23,34 +23,58 @@ func GammaExact(src *Gray, gamma float64) *Gray {
 // GammaReSC applies gamma correction through the electronic ReSC
 // baseline: a degree-`degree` Bernstein approximation of x^gamma is
 // evaluated stochastically with `streamLen`-bit streams, once per
-// distinct gray level.
+// distinct gray level. The 256 levels run through the word-parallel
+// batch evaluator with per-level derived randomness. A non-positive
+// stream length is an error (it would silently produce a zero image).
 func GammaReSC(src *Gray, gamma float64, degree, streamLen int, seed uint64) (*Gray, error) {
 	poly, _, err := stochastic.GammaCorrection(gamma, degree)
 	if err != nil {
 		return nil, err
 	}
-	var lut [256]uint8
-	for v := 0; v < 256; v++ {
-		unit, err := stochastic.NewReSCWithSeeds(poly, seed+uint64(v)*1315423911)
-		if err != nil {
-			return nil, err
-		}
-		got, _ := unit.Evaluate(float64(v)/255, streamLen)
-		lut[v] = quantize(got)
+	if streamLen < 1 {
+		return nil, fmt.Errorf("image: stream length %d, need >= 1", streamLen)
+	}
+	got, err := stochastic.EvaluateBatch(poly, grayLevels(), streamLen, seed)
+	if err != nil {
+		return nil, err
 	}
 	out := src.Clone()
+	lut := quantizeLUT(got)
 	applyLUT(out, &lut)
 	return out, nil
+}
+
+// grayLevels returns the 256 normalized gray levels v/255.
+func grayLevels() []float64 {
+	xs := make([]float64, 256)
+	for v := range xs {
+		xs[v] = float64(v) / 255
+	}
+	return xs
+}
+
+// quantizeLUT quantizes 256 evaluated levels into a lookup table.
+func quantizeLUT(levels []float64) (lut [256]uint8) {
+	for v, got := range levels {
+		lut[v] = quantize(got)
+	}
+	return lut
 }
 
 // GammaOptical applies gamma correction through the optical
 // stochastic-computing unit: the same Bernstein polynomial evaluated
 // by a circuit of matching order (designed by MRR-first at the given
-// spacing).
+// spacing). The 256 gray levels fan out over the unit's multi-core
+// batch evaluator, each level with randomness derived from its index.
+// A non-positive stream length is an error (it would silently produce
+// a zero image).
 func GammaOptical(src *Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64) (*Gray, error) {
 	poly, _, err := stochastic.GammaCorrection(gamma, degree)
 	if err != nil {
 		return nil, err
+	}
+	if streamLen < 1 {
+		return nil, fmt.Errorf("image: stream length %d, need >= 1", streamLen)
 	}
 	p, err := core.MRRFirst(core.MRRFirstSpec{Order: degree, WLSpacingNM: spacingNM})
 	if err != nil {
@@ -60,16 +84,13 @@ func GammaOptical(src *Gray, gamma float64, degree int, spacingNM float64, strea
 	if err != nil {
 		return nil, err
 	}
-	var lut [256]uint8
-	for v := 0; v < 256; v++ {
-		unit, err := core.NewUnit(c, poly, seed+uint64(v)*2654435761)
-		if err != nil {
-			return nil, err
-		}
-		got, _ := unit.Evaluate(float64(v)/255, streamLen)
-		lut[v] = quantize(got)
+	unit, err := core.NewUnit(c, poly, seed)
+	if err != nil {
+		return nil, err
 	}
+	got := unit.EvaluateBatch(grayLevels(), streamLen)
 	out := src.Clone()
+	lut := quantizeLUT(got)
 	applyLUT(out, &lut)
 	return out, nil
 }

@@ -1,0 +1,58 @@
+// Package parallel provides the small worker-pool primitive shared by
+// the batch evaluation engines in internal/stochastic and
+// internal/core: a deterministic-by-index parallel for-loop sized to
+// the machine.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the pool size used for n independent work items:
+// runtime.NumCPU(), clamped to n and to at least 1.
+func Workers(n int) int {
+	w := runtime.NumCPU()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n) on a Workers(n)-sized pool.
+// Indices are handed out through an atomic counter, so the assignment
+// of indices to workers is scheduling-dependent — fn must derive any
+// randomness from i alone (not from worker identity) for results to
+// be reproducible. For returns once every call has completed.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,38 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		counts := make([]atomic.Int32, n)
+		For(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForNegative(t *testing.T) {
+	ran := false
+	For(-3, func(i int) { ran = true })
+	if ran {
+		t.Error("negative n ran the body")
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d", w)
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Errorf("Workers(big) = %d", w)
+	}
+}

@@ -38,6 +38,42 @@ func FromBits(bits []int) *Bitstream {
 // Len returns the stream length in bits.
 func (b *Bitstream) Len() int { return b.n }
 
+// WordCount returns the number of 64-bit words backing the stream.
+func (b *Bitstream) WordCount() int { return len(b.words) }
+
+// WordBits returns how many bits of word i are in range: 64 for every
+// word but possibly the last.
+func (b *Bitstream) WordBits(i int) int {
+	b.checkWord(i)
+	if rem := b.n - i*64; rem < 64 {
+		return rem
+	}
+	return 64
+}
+
+// Word returns the i-th 64-bit word, LSB-first (bit 64·i of the
+// stream is bit 0 of the word). Bits past Len() are zero.
+func (b *Bitstream) Word(i int) uint64 {
+	b.checkWord(i)
+	return b.words[i]
+}
+
+// SetWord assigns the i-th 64-bit word. Bits past Len() are cleared,
+// so whole-word writers need not mask the tail themselves.
+func (b *Bitstream) SetWord(i int, w uint64) {
+	b.checkWord(i)
+	b.words[i] = w
+	if i == len(b.words)-1 {
+		b.maskTail()
+	}
+}
+
+func (b *Bitstream) checkWord(i int) {
+	if i < 0 || i >= len(b.words) {
+		panic(fmt.Sprintf("stochastic: word index %d out of range [0,%d)", i, len(b.words)))
+	}
+}
+
 // Get returns bit i (0 or 1).
 func (b *Bitstream) Get(i int) int {
 	b.check(i)
@@ -166,6 +202,10 @@ func Mux(sel *Bitstream, inputs ...*Bitstream) *Bitstream {
 // integer select values sel[i] ∈ [0, len(inputs)). This is the wide
 // multiplexer of the ReSC architecture (paper Fig. 1a). Out-of-range
 // selects panic: they indicate a broken adder.
+//
+// All selects are validated up front; the output is then assembled
+// word-at-a-time straight from the input words, with no per-bit
+// bounds rechecking.
 func MuxN(sel []int, inputs ...*Bitstream) *Bitstream {
 	if len(inputs) == 0 {
 		panic("stochastic: MuxN needs at least one input")
@@ -177,12 +217,20 @@ func MuxN(sel []int, inputs ...*Bitstream) *Bitstream {
 	if len(sel) != n {
 		panic(fmt.Sprintf("stochastic: select length %d vs stream length %d", len(sel), n))
 	}
-	out := NewBitstream(n)
-	for i, s := range sel {
+	for _, s := range sel {
 		if s < 0 || s >= len(inputs) {
 			panic(fmt.Sprintf("stochastic: select %d out of range [0,%d)", s, len(inputs)))
 		}
-		out.Set(i, inputs[s].Get(i))
+	}
+	out := NewBitstream(n)
+	for w := range out.words {
+		base := w * 64
+		nbits := out.WordBits(w)
+		var word uint64
+		for b := 0; b < nbits; b++ {
+			word |= inputs[sel[base+b]].words[w] >> uint(b) & 1 << uint(b)
+		}
+		out.words[w] = word
 	}
 	return out
 }

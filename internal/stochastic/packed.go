@@ -1,0 +1,119 @@
+package stochastic
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// This file is the word-parallel ReSC evaluation engine. The
+// bit-serial Step/Evaluate path advances one clock per call; here 64
+// clocks are simulated per machine word: the n data bits are summed
+// with a bitwise carry-save adder tree over whole words, and the
+// coefficient multiplexer is resolved word-at-a-time from the sum's
+// bit-planes. Output is bit-identical to the serial path whenever the
+// unit's sources are mutually independent (each source is consumed in
+// cycle order either way), which the ReSC contract already requires.
+
+// AddPlane adds one 0/1-per-slot word into the bit-planes of a
+// per-slot counter: planes[k] holds bit k of each slot's running sum.
+// It is a ripple of 64 full adders evaluated as word operations — the
+// carry-save adder tree of the packed evaluators (here and in
+// internal/core).
+func AddPlane(planes []uint64, w uint64) []uint64 {
+	for k := 0; w != 0 && k < len(planes); k++ {
+		planes[k], w = planes[k]^w, planes[k]&w
+	}
+	if w != 0 {
+		planes = append(planes, w)
+	}
+	return planes
+}
+
+// PlaneEquals returns the indicator word for "slot sum == v": bit t is
+// set iff the counter encoded by planes equals v at slot t.
+func PlaneEquals(planes []uint64, v int) uint64 {
+	if v>>uint(len(planes)) != 0 {
+		return 0
+	}
+	ind := ^uint64(0)
+	for k, pl := range planes {
+		if v>>uint(k)&1 == 1 {
+			ind &= pl
+		} else {
+			ind &= ^pl
+		}
+	}
+	return ind
+}
+
+// EvaluateWords runs `length` clock cycles at input x through the
+// word-parallel datapath and returns the de-randomized estimate of
+// B(x) with the raw output stream — the packed equivalent of
+// Evaluate, 64 cycles per inner iteration. The two paths produce
+// identical bitstreams from equal, mutually independent sources.
+func (r *ReSC) EvaluateWords(x float64, length int) (float64, *Bitstream) {
+	n := r.Degree()
+	out := NewBitstream(length)
+	var planes []uint64
+	coefWords := make([]uint64, n+1)
+	for w := 0; w < out.WordCount(); w++ {
+		nbits := out.WordBits(w)
+		planes = planes[:0]
+		for i := 0; i < n; i++ {
+			planes = AddPlane(planes, bernoulliWord(r.DataSources[i], x, nbits))
+		}
+		for i := 0; i <= n; i++ {
+			coefWords[i] = bernoulliWord(r.CoefSources[i], r.Poly.Coef[i], nbits)
+		}
+		var word uint64
+		for s := 0; s <= n; s++ {
+			word |= PlaneEquals(planes, s) & coefWords[s]
+		}
+		out.SetWord(w, word)
+	}
+	return out.Value(), out
+}
+
+// DeriveSeed derives the randomness seed for batch input i from a
+// base seed: a SplitMix64 step of base+i, so neighbouring indices get
+// well-separated generator states. Batch evaluators here and in
+// internal/core seed input i's sources from DeriveSeed(seed, i) alone,
+// which is what makes their results scheduling-independent.
+func DeriveSeed(base uint64, i int) uint64 {
+	return NewSplitMix64(base + uint64(i)).NextUint64()
+}
+
+// EvaluateBatch evaluates the polynomial at every x in xs with fresh
+// `length`-bit streams, fanning the inputs out over a
+// runtime.NumCPU()-sized worker pool. Input i is computed by a
+// dedicated ReSC whose sources are seeded from (seed, i) only, so the
+// result is reproducible regardless of core count or scheduling; each
+// input runs through the word-parallel evaluator. It returns an error
+// for a non-positive stream length or an unusable polynomial.
+func EvaluateBatch(poly BernsteinPoly, xs []float64, length int, seed uint64) ([]float64, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("stochastic: stream length %d, need >= 1", length)
+	}
+	if _, err := NewReSCWithSeeds(poly, seed); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	errs := make([]error, len(xs))
+	parallel.For(len(xs), func(i int) {
+		r, err := NewReSCWithSeeds(poly, DeriveSeed(seed, i))
+		if err != nil {
+			// Unreachable after the up-front validation (the checks
+			// depend on poly alone), but never drop an error silently.
+			errs[i] = err
+			return
+		}
+		out[i], _ = r.EvaluateWords(xs[i], length)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

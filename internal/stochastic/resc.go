@@ -62,7 +62,11 @@ func NewReSCWithSeeds(poly BernsteinPoly, seed uint64) (*ReSC, error) {
 func (r *ReSC) Degree() int { return r.Poly.Degree() }
 
 // Step runs one clock cycle for input probability x and returns the
-// output bit along with the adder value (the MUX select).
+// output bit along with the adder value (the MUX select). As in the
+// Fig. 1(a) hardware, every one of the n+1 coefficient SNGs clocks
+// each cycle and the multiplexer picks z_sum among them — so each
+// source's consumption depends only on the cycle count, which is what
+// lets EvaluateWords reproduce this path bit-for-bit word-at-a-time.
 func (r *ReSC) Step(x float64) (bit, sel int) {
 	n := r.Degree()
 	sum := 0
@@ -71,8 +75,13 @@ func (r *ReSC) Step(x float64) (bit, sel int) {
 			sum++
 		}
 	}
-	zi := sngBit(r.CoefSources[sum], r.Poly.Coef[sum])
-	return zi, sum
+	for i := 0; i <= n; i++ {
+		zi := sngBit(r.CoefSources[i], r.Poly.Coef[i])
+		if i == sum {
+			bit = zi
+		}
+	}
+	return bit, sum
 }
 
 func sngBit(src NumberSource, p float64) int {
@@ -137,11 +146,14 @@ func EvaluateStreams(data []*Bitstream, coef []*Bitstream) (*Bitstream, []int, e
 
 // EvaluateSweep evaluates the unit at each x in xs with fresh
 // `length`-bit streams and returns the estimates. It is the workload
-// behind accuracy-vs-stream-length studies.
+// behind accuracy-vs-stream-length studies; each point runs through
+// the packed word-parallel evaluator on the unit's own advancing
+// sources, so repeated sweeps give independent estimates (unlike
+// core.Unit.EvaluateSweep, whose randomness is seed+index-derived).
 func (r *ReSC) EvaluateSweep(xs []float64, length int) []float64 {
 	out := make([]float64, len(xs))
 	for i, x := range xs {
-		out[i], _ = r.Evaluate(x, length)
+		out[i], _ = r.EvaluateWords(x, length)
 	}
 	return out
 }

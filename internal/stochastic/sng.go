@@ -51,6 +51,63 @@ func (g *SNG) Generate(p float64, n int) *Bitstream {
 	return b
 }
 
+// NextWord emits nbits stochastic bits (0 < nbits <= 64) packed
+// LSB-first into one word, each with P(1) = p. It consumes the source
+// exactly as nbits NextBit calls would, so word-level and bit-level
+// generation from equal sources yield identical streams.
+func (g *SNG) NextWord(p float64, nbits int) uint64 {
+	if nbits < 0 || nbits > 64 {
+		panic(fmt.Sprintf("stochastic: NextWord bit count %d out of range [0,64]", nbits))
+	}
+	return bernoulliWord(g.src, p, nbits)
+}
+
+// GenerateWords is Generate assembled word-at-a-time through NextWord:
+// bit-identical output for equal sources, without per-bit Set calls.
+func (g *SNG) GenerateWords(p float64, n int) *Bitstream {
+	b := NewBitstream(n)
+	for w := 0; w < b.WordCount(); w++ {
+		b.SetWord(w, bernoulliWord(g.src, p, b.WordBits(w)))
+	}
+	return b
+}
+
+// bernoulliWord packs nbits comparator outputs into one word. Like
+// NextBit, it consumes no samples for the degenerate probabilities,
+// and one sample per bit otherwise. The *SplitMix64 case is the same
+// loop with the source devirtualized — the compiler inlines the
+// generator there, which matters in the packed evaluators' hot path.
+func bernoulliWord(src NumberSource, p float64, nbits int) uint64 {
+	if nbits <= 0 || p <= 0 {
+		return 0
+	}
+	all := ^uint64(0) >> (64 - uint(nbits))
+	if p >= 1 {
+		return all
+	}
+	var w uint64
+	if sm, ok := src.(*SplitMix64); ok {
+		// Devirtualized fast path with the comparison moved to the
+		// integer domain. Next() < p compares k/2^53 against p with
+		// k = NextUint64()>>11; both k/2^53 and p·2^53 are exact
+		// (power-of-two scaling), so k < ceil(p·2^53) is the same
+		// predicate and the per-sample int→float conversion drops out.
+		thr := uint64(math.Ceil(p * (1 << 53)))
+		for b := 0; b < nbits; b++ {
+			if sm.NextUint64()>>11 < thr {
+				w |= 1 << uint(b)
+			}
+		}
+		return w
+	}
+	for b := 0; b < nbits; b++ {
+		if src.Next() < p {
+			w |= 1 << uint(b)
+		}
+	}
+	return w
+}
+
 // lfsrTaps maps register width to a maximal-length Galois feedback
 // mask: bit e-1 is set for each exponent e of the primitive feedback
 // polynomial (constant term excluded). Masks for widths 4-25 were
