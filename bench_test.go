@@ -299,7 +299,10 @@ func BenchmarkTransient(b *testing.B) {
 	var measured float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		measured = sim.MeasureWorstCaseBER(100_000)
+		var err error
+		if measured, err = sim.MeasureWorstCaseBER(100_000); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(measured, "BER_measured")
 	b.ReportMetric(sim.AnalyticWorstCaseBER(), "BER_analytic")

@@ -10,6 +10,7 @@
 //	oscbench -fig summary      # in-text anchors, paper vs measured
 //	oscbench -fig tradeoff     # throughput-accuracy extension (§V.B)
 //	oscbench -fig sweep        # noiseless accuracy vs stream length (batch engine)
+//	oscbench -fig noise        # Monte-Carlo noise study (batched noisy engine)
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
 package main
 
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, noise, ablation, all")
 	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a)")
 	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a)")
 	flag.Parse()
@@ -154,6 +155,21 @@ func run(fig string, gridN, sweepN int) error {
 			return err
 		}
 	}
+	if want("noise") {
+		any = true
+		section("Monte-Carlo noise study (accuracy/BER vs length, probe power, sigma)")
+		spec, err := dse.DefaultNoiseStudySpec()
+		if err != nil {
+			return err
+		}
+		rows, err := dse.NoiseStudy(spec)
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderNoiseStudy(w, rows, spec); err != nil {
+			return err
+		}
+	}
 	if want("ablation") {
 		any = true
 		section("Ablations")
@@ -231,7 +247,10 @@ func renderTradeoff(w *os.File) error {
 	sim := transient.NewSimulator(u, 8)
 	fmt.Fprintf(w, "probe sized for BER 1e-2: %.4f mW; analytic worst-case BER %.2e\n\n",
 		p.ProbePowerMW, sim.AnalyticWorstCaseBER())
-	pts := sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096, 16384}, 30)
+	pts, err := sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096, 16384}, 30)
+	if err != nil {
+		return err
+	}
 	t := dse.NewTable("stream length", "RMSE", "results/s @1 Gb/s")
 	for _, pt := range pts {
 		t.AddRow(fmt.Sprint(pt.StreamLen), fmt.Sprintf("%.4f", pt.RMSE), fmt.Sprintf("%.3g", pt.ThroughputResultsPerSec))

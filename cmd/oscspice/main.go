@@ -68,14 +68,21 @@ func run(path string) error {
 	analytic := e.Poly.Eval(deck.InputX)
 	if deck.Noise {
 		sim := transient.NewSimulator(e.Unit, deck.Seed+1)
-		got, _ := sim.Evaluate(deck.InputX, deck.Bits)
+		got, _, err := sim.EvaluateWords(deck.InputX, deck.Bits)
+		if err != nil {
+			return err
+		}
+		measured, err := sim.MeasureWorstCaseBER(200_000)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("transient (noisy, σ = %.4g mW):\n", sim.SigmaMW)
 		fmt.Printf("  B(%.4g) = %.5f  (analytic %.5f, %d bits)\n", deck.InputX, got, analytic, deck.Bits)
 		fmt.Printf("  worst-case BER: measured %.3e, analytic %.3e\n",
-			sim.MeasureWorstCaseBER(200_000), sim.AnalyticWorstCaseBER())
+			measured, sim.AnalyticWorstCaseBER())
 		fmt.Printf("  %v\n", sim.MeasureEye(deck.InputX, 20_000))
 	} else {
-		got, _ := e.Unit.Evaluate(deck.InputX, deck.Bits)
+		got, _ := e.Unit.EvaluateWords(deck.InputX, deck.Bits)
 		fmt.Println("transient (noiseless):")
 		fmt.Printf("  B(%.4g) = %.5f  (analytic %.5f, %d bits)\n", deck.InputX, got, analytic, deck.Bits)
 	}

@@ -20,10 +20,26 @@
 // word-at-a-time multiplexer / decision-table lookup — and emits
 // bit-identical streams (ReSC.EvaluateWords, core.Unit.EvaluateWords).
 // On top of that, stochastic.EvaluateBatch and core.Unit.EvaluateBatch
-// fan independent inputs out over a runtime.NumCPU() worker pool with
+// fan independent inputs out over a runtime.GOMAXPROCS-sized worker pool with
 // per-input seeds derived by stochastic.DeriveSeed, so batch results
 // are reproducible on any core count. The gamma-correction LUTs,
 // sweeps and oscbench all run through the batch engine.
+//
+// The noise-aware transient path is word-parallel too: the received
+// power is a pure function of (weight, z-mask), so
+// core.Unit.EvaluateNoisy resolves 64 noisy threshold decisions per
+// word from a power table plus block Gaussian noise
+// (transient.Gaussian.Fill, Box–Muller over any
+// stochastic.NumberSource). transient.Simulator.EvaluateWords emits
+// streams bit-identical to the serial Step loop;
+// transient.Simulator.EvaluateBatch and the dse.NoiseStudy
+// Monte-Carlo harness (oscbench -fig noise) fan per-trial seeds over
+// the same worker pool. Quickstart:
+//
+//	sim := transient.NewSimulator(u, 2)
+//	val, _, err := sim.EvaluateWords(0.5, 4096)        // one noisy stream
+//	vals, err := sim.EvaluateBatch(trialInputs, 4096)  // Monte-Carlo fan-out
+//	ber, err := sim.MeasureWorstCaseBER(200_000)       // batched Eq. (8) patterns
 //
 // The implementation lives in internal/ packages:
 //

@@ -60,13 +60,40 @@ func main() {
 
 	// 3. BER: measured vs Eq. (9).
 	analytic := sim.AnalyticWorstCaseBER()
-	measured := sim.MeasureWorstCaseBER(400000)
+	measured, err := sim.MeasureWorstCaseBER(400000)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nworst-case BER: measured %.3e vs analytic %.3e\n", measured, analytic)
 
-	// 4. Throughput-accuracy trade-off.
+	// 4. Throughput-accuracy trade-off, word-parallel.
 	fmt.Println("\naccuracy vs stream length at x=0.5:")
-	for _, pt := range sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096}, 40) {
+	pts, err := sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096}, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range pts {
 		fmt.Printf("  %v\n", pt)
+	}
+
+	// 5. Monte-Carlo batch: 32 independent noisy trials per input,
+	// fanned over all cores with per-trial seeds.
+	fmt.Println("\nbatched Monte-Carlo (32 trials x 4096 bits per input):")
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		xs := make([]float64, 32)
+		for i := range xs {
+			xs[i] = x
+		}
+		vals, err := sim.EvaluateBatch(xs, 4096)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		fmt.Printf("  x=%.2f: mean %.5f (analytic %.5f)\n", x, mean, unit.Poly.Eval(x))
 	}
 	fmt.Println("\nlonger streams absorb transmission errors (§V.B): halve the power, double the bits.")
 }

@@ -71,7 +71,11 @@ func TestEndToEndPaperPipeline(t *testing.T) {
 
 	// 4. The noisy link at 1 mW probes is effectively error-free.
 	sim := transient.NewSimulator(unit, 3003)
-	if ber := sim.MeasureWorstCaseBER(50_000); ber > 1e-3 {
+	ber, err := sim.MeasureWorstCaseBER(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber > 1e-3 {
 		t.Errorf("transient BER %g at 1 mW probes", ber)
 	}
 }

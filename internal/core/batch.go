@@ -14,33 +14,29 @@ import (
 // precomputed (weight, z-mask) → bit table. The packed path emits
 // bitstreams identical to the serial Step/Evaluate path.
 
-// maxDecisionOrder bounds the orders whose 2^(n+1)-entry decision
-// table is tabulated — the same practicality bound as powerCache and
-// Circuit.PowerBands (which NewUnit already enumerates).
+// maxDecisionOrder bounds the orders whose 2^(n+1)-entry power and
+// decision tables are tabulated — the same practicality bound as
+// Circuit.PowerBands (which NewCircuit already enumerates).
 const maxDecisionOrder = 16
 
 // decisionTable returns the noiseless output-bit table,
 // decisions[weight] a bitset indexed by coefficient z-mask, building
-// it on first use. The build enumerates the circuit directly rather
-// than through powerCache so the finished table is immutable and
-// lock-free to share across batch workers. Returns nil for orders too
-// large to tabulate.
+// it on first use by thresholding the shared power table — the
+// finished table is immutable and lock-free to share across batch
+// workers. Returns nil for orders too large to tabulate.
 func (u *Unit) decisionTable() [][]uint64 {
 	n := u.Circuit.P.Order
 	if n > maxDecisionOrder {
 		return nil
 	}
 	u.decOnce.Do(func() {
+		pow := u.powerTable()
 		masks := 1 << (n + 1)
-		z := make([]int, n+1)
 		rows := make([][]uint64, n+1)
 		for w := range rows {
 			row := make([]uint64, (masks+63)/64)
 			for zmask := 0; zmask < masks; zmask++ {
-				for b := range z {
-					z[b] = zmask >> b & 1
-				}
-				if u.Circuit.ReceivedPowerMW(w, z) > u.thresholdMW {
+				if pow[w][zmask] > u.thresholdMW {
 					row[zmask/64] |= 1 << uint(zmask%64)
 				}
 			}
@@ -51,6 +47,41 @@ func (u *Unit) decisionTable() [][]uint64 {
 	return u.decisions
 }
 
+// drawWord advances the generators one packed word of nbits cycles:
+// data words accumulate into the carry-save planes (returned, as the
+// tree may grow), coefficient words fill coefWords. Both packed
+// evaluators (noiseless and noisy) consume their sources through this
+// one helper, which is what keeps them cycle-aligned with the serial
+// Step path and with each other.
+func (u *Unit) drawWord(data, coef []*stochastic.SNG, x float64, nbits int, planes []uint64, coefWords []uint64) []uint64 {
+	planes = planes[:0]
+	for i := range data {
+		planes = stochastic.AddPlane(planes, data[i].NextWord(x, nbits))
+	}
+	for i := range coef {
+		coefWords[i] = coef[i].NextWord(u.Poly.Coef[i], nbits)
+	}
+	return planes
+}
+
+// decodeCycles transposes the packed word state back to per-cycle
+// integers: weights[t] the data-bit sum and zmasks[t] the coefficient
+// bit-vector of cycle t — the shared decode between the noiseless
+// table lookup and the noisy threshold compare.
+func decodeCycles(planes, coefWords []uint64, nbits int, weights, zmasks *[64]int) {
+	for t := 0; t < nbits; t++ {
+		weight := 0
+		for k, pl := range planes {
+			weight |= int(pl>>uint(t)&1) << uint(k)
+		}
+		zmask := 0
+		for i, cw := range coefWords {
+			zmask |= int(cw>>uint(t)&1) << uint(i)
+		}
+		weights[t], zmasks[t] = weight, zmask
+	}
+}
+
 // evalPacked runs `length` cycles of the word-parallel datapath with
 // the given generators and decision table, 64 cycles per iteration.
 func (u *Unit) evalPacked(dec [][]uint64, data, coef []*stochastic.SNG, x float64, length int) *stochastic.Bitstream {
@@ -58,26 +89,15 @@ func (u *Unit) evalPacked(dec [][]uint64, data, coef []*stochastic.SNG, x float6
 	out := stochastic.NewBitstream(length)
 	var planes []uint64
 	coefWords := make([]uint64, n+1)
+	var weights, zmasks [64]int
 	for w := 0; w < out.WordCount(); w++ {
 		nbits := out.WordBits(w)
-		planes = planes[:0]
-		for i := 0; i < n; i++ {
-			planes = stochastic.AddPlane(planes, data[i].NextWord(x, nbits))
-		}
-		for i := 0; i <= n; i++ {
-			coefWords[i] = coef[i].NextWord(u.Poly.Coef[i], nbits)
-		}
+		planes = u.drawWord(data, coef, x, nbits, planes, coefWords)
+		decodeCycles(planes, coefWords, nbits, &weights, &zmasks)
 		var word uint64
 		for t := 0; t < nbits; t++ {
-			weight := 0
-			for k, pl := range planes {
-				weight |= int(pl>>uint(t)&1) << uint(k)
-			}
-			zmask := 0
-			for i, cw := range coefWords {
-				zmask |= int(cw>>uint(t)&1) << uint(i)
-			}
-			word |= dec[weight][zmask/64] >> uint(zmask%64) & 1 << uint(t)
+			zmask := zmasks[t]
+			word |= dec[weights[t]][zmask/64] >> uint(zmask%64) & 1 << uint(t)
 		}
 		out.SetWord(w, word)
 	}
@@ -100,36 +120,18 @@ func (u *Unit) EvaluateWords(x float64, length int) (float64, *stochastic.Bitstr
 
 // evalSeeded evaluates one batch input with fresh sources derived
 // from seed only — the reproducible per-index unit of work behind
-// EvaluateBatch. Falls back to a cache-free serial walk for orders
-// too large to tabulate.
+// EvaluateBatch. Falls back to the cache-free serial walk (with a
+// noiseless channel) for orders too large to tabulate.
 func (u *Unit) evalSeeded(seed uint64, x float64, length int) float64 {
 	data, coef := seededSNGs(u.Circuit.P.Order, seed)
 	if dec := u.decisionTable(); dec != nil {
 		return u.evalPacked(dec, data, coef, x, length).Value()
 	}
-	n := u.Circuit.P.Order
-	z := make([]int, n+1)
-	ones := 0
-	for t := 0; t < length; t++ {
-		weight := 0
-		for i := 0; i < n; i++ {
-			weight += data[i].NextBit(x)
-		}
-		for i := range z {
-			z[i] = coef[i].NextBit(u.Poly.Coef[i])
-		}
-		if u.Circuit.ReceivedPowerMW(weight, z) > u.thresholdMW {
-			ones++
-		}
-	}
-	if length == 0 {
-		return 0
-	}
-	return float64(ones) / float64(length)
+	return u.walkSeeded(data, coef, x, length, nil)
 }
 
 // EvaluateBatch computes B(x) for every input with fresh `length`-bit
-// streams, fanning the inputs out over a runtime.NumCPU()-sized
+// streams, fanning the inputs out over a runtime.GOMAXPROCS-sized
 // worker pool. Input i is evaluated with sources seeded from the
 // unit's seed and i only (stochastic.DeriveSeed), so the result is
 // reproducible regardless of core count or scheduling. The shared

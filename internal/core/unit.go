@@ -26,19 +26,22 @@ type Unit struct {
 	seed        uint64
 	thresholdMW float64
 
-	// powerCache memoizes ReceivedPowerMW by (weight, z-bitmask):
-	// the optical state space has only (n+1)·2^(n+1) points, so
-	// caching turns per-bit ring evaluations into table lookups.
-	// Indexed [weight][zmask]; negative entries mean "not computed".
-	// Nil for orders too large to tabulate.
-	powerCache [][]float64
-
 	// decisions is the fully-tabulated noiseless output bit,
 	// decisions[weight] a bitset over z-masks, built once on first
 	// word-parallel evaluation (see decisionTable). Immutable after
 	// decOnce fires, so the batch workers share it without locking.
 	decOnce   sync.Once
 	decisions [][]uint64
+
+	// powers is the received power pow[weight][zmask] fully
+	// tabulated (see powerTable): the optical state space has only
+	// (n+1)·2^(n+1) points, so one enumeration turns per-bit ring
+	// evaluations — serial Step lookups and word-parallel noisy
+	// threshold decisions alike — into table reads. Immutable after
+	// powOnce fires, so every evaluation path shares it without
+	// locking.
+	powOnce sync.Once
+	powers  [][]float64
 }
 
 // NewUnit builds a unit for the polynomial on the given circuit. The
@@ -55,16 +58,6 @@ func NewUnit(c *Circuit, poly stochastic.BernsteinPoly, seed uint64) (*Unit, err
 	u := &Unit{Circuit: c, Poly: poly, seed: seed}
 	u.dataSNG, u.coefSNG = seededSNGs(c.P.Order, seed)
 	u.thresholdMW = c.Decider().ThresholdMW
-	if n := c.P.Order; n <= 16 {
-		u.powerCache = make([][]float64, n+1)
-		for w := range u.powerCache {
-			row := make([]float64, 1<<(n+1))
-			for i := range row {
-				row[i] = -1
-			}
-			u.powerCache[w] = row
-		}
-	}
 	return u, nil
 }
 
@@ -82,18 +75,14 @@ func seededSNGs(order int, seed uint64) (data, coef []*stochastic.SNG) {
 	return data, coef
 }
 
-// receivedMW returns the cached received power for a data weight and
-// coefficient bits, computing it on first use.
+// receivedMW returns the tabulated received power for a data weight
+// and coefficient bits, enumerating the circuit directly for orders
+// too large to tabulate.
 func (u *Unit) receivedMW(weight int, z []int, zmask int) float64 {
-	if u.powerCache == nil {
-		return u.Circuit.ReceivedPowerMW(weight, z)
+	if pow := u.powerTable(); pow != nil {
+		return pow[weight][zmask]
 	}
-	if v := u.powerCache[weight][zmask]; v >= 0 {
-		return v
-	}
-	v := u.Circuit.ReceivedPowerMW(weight, z)
-	u.powerCache[weight][zmask] = v
-	return v
+	return u.Circuit.ReceivedPowerMW(weight, z)
 }
 
 // ThresholdMW returns the OOK decision threshold calibrated from the

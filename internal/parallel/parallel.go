@@ -11,9 +11,11 @@ import (
 )
 
 // Workers returns the pool size used for n independent work items:
-// runtime.NumCPU(), clamped to n and to at least 1.
+// runtime.GOMAXPROCS(0) — the CPUs the scheduler may actually use,
+// which callers (and tests) can pin below runtime.NumCPU() — clamped
+// to n and to at least 1.
 func Workers(n int) int {
-	w := runtime.NumCPU()
+	w := runtime.GOMAXPROCS(0)
 	if w > n {
 		w = n
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -22,6 +23,13 @@ func TestForNegative(t *testing.T) {
 	For(-3, func(i int) { ran = true })
 	if ran {
 		t.Error("negative n ran the body")
+	}
+}
+
+func TestWorkersRespectsGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	if w := Workers(64); w != 1 {
+		t.Errorf("Workers(64) under GOMAXPROCS(1) = %d", w)
 	}
 }
 

@@ -86,7 +86,7 @@ func DeriveSeed(base uint64, i int) uint64 {
 
 // EvaluateBatch evaluates the polynomial at every x in xs with fresh
 // `length`-bit streams, fanning the inputs out over a
-// runtime.NumCPU()-sized worker pool. Input i is computed by a
+// runtime.GOMAXPROCS-sized worker pool. Input i is computed by a
 // dedicated ReSC whose sources are seeded from (seed, i) only, so the
 // result is reproducible regardless of core count or scheduling; each
 // input runs through the word-parallel evaluator. It returns an error

@@ -12,8 +12,30 @@
 // when the worst-case signal/crosstalk patterns are transmitted.
 // That agreement is the package's main validation test.
 //
+// # Batched noisy evaluation
+//
+// Every noisy evaluator comes in two equivalent forms. The bit-serial
+// Simulator.Step/Evaluate path advances one clock per call and serves
+// as the oracle. The word-parallel path (Simulator.EvaluateWords)
+// simulates 64 clocks per machine word — SNG words, the carry-save
+// weight tree, received-power table lookups and block Gaussian noise
+// (Gaussian.Fill/FillScaled, a Box–Muller pair at a time) — and emits
+// bit-identical streams. Monte-Carlo studies go through
+// Simulator.EvaluateBatch, which fans independent trials over a
+// runtime.GOMAXPROCS-sized worker pool with per-trial seeds derived by
+// stochastic.DeriveSeed, so results are reproducible on any core
+// count. Quickstart:
+//
+//	u, _ := core.NewUnit(circuit, poly, 1)
+//	sim := transient.NewSimulator(u, 2)
+//	val, _, err := sim.EvaluateWords(0.5, 4096) // one noisy stream
+//	xs := []float64{0.5, 0.5, 0.5, 0.5}         // 4 independent trials
+//	vals, err := sim.EvaluateBatch(xs, 4096)    // fanned over all cores
+//	ber, err := sim.MeasureWorstCaseBER(200_000)
+//
 // On top of the bit-level simulator the package provides the
 // throughput–accuracy trade-off study (§V.B): longer stochastic
 // streams average transmission errors away, letting a designer trade
-// probe laser power against stream length.
+// probe laser power against stream length; internal/dse.NoiseStudy
+// sweeps that trade-off over probe power and noise sigma.
 package transient

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stochastic"
 )
 
@@ -16,6 +17,10 @@ type Simulator struct {
 	// i_n/R expressed in mW (see package doc).
 	SigmaMW float64
 
+	// seed is the base seed the batch evaluators derive per-trial
+	// randomness from; the serial path's noise generator is seeded
+	// from it too.
+	seed  uint64
 	noise *Gaussian
 }
 
@@ -27,6 +32,7 @@ func NewSimulator(u *core.Unit, seed uint64) *Simulator {
 	return &Simulator{
 		Unit:    u,
 		SigmaMW: sigma,
+		seed:    seed,
 		noise:   NewGaussian(stochastic.NewSplitMix64(seed)),
 	}
 }
@@ -36,22 +42,91 @@ func (s *Simulator) Step(x float64) core.StepResult {
 	return s.Unit.Step(x, s.noise.NextScaled(s.SigmaMW))
 }
 
-// Evaluate runs `length` noisy cycles and de-randomizes the output.
-func (s *Simulator) Evaluate(x float64, length int) (float64, *stochastic.Bitstream) {
+// Evaluate runs `length` noisy cycles bit-serially and de-randomizes
+// the output. It is the oracle for EvaluateWords; a non-positive
+// length is an error (an empty bitstream has no defined value).
+func (s *Simulator) Evaluate(x float64, length int) (float64, *stochastic.Bitstream, error) {
+	if length <= 0 {
+		return 0, nil, fmt.Errorf("transient: stream length %d, need >= 1", length)
+	}
 	out := stochastic.NewBitstream(length)
 	for t := 0; t < length; t++ {
 		out.Set(t, s.Step(x).Bit)
 	}
-	return out.Value(), out
+	return out.Value(), out, nil
 }
 
-// MeasureWorstCaseBER transmits the worst-case signal/crosstalk
-// patterns of Eq. (8) for `bits` slots and returns the observed
-// bit-error rate. Even slots carry the worst channel's '1' pattern
-// (only z_worst set); odd slots carry its '0' pattern (every other
-// coefficient set, maximizing crosstalk). The measurement converges
-// to the analytical Eq. (9) BER of the circuit.
-func (s *Simulator) MeasureWorstCaseBER(bits int) float64 {
+// EvaluateWords is Evaluate through the word-parallel noisy datapath:
+// SNG words, the carry-save weight tree, power-table lookups and
+// block Gaussian noise (Gaussian.FillScaled), 64 cycles per inner
+// iteration. It advances the unit's generators and the simulator's
+// noise stream exactly as Evaluate does and emits an identical
+// bitstream.
+func (s *Simulator) EvaluateWords(x float64, length int) (float64, *stochastic.Bitstream, error) {
+	if length <= 0 {
+		return 0, nil, fmt.Errorf("transient: stream length %d, need >= 1", length)
+	}
+	out, err := s.Unit.EvaluateNoisy(x, length, func(dst []float64) {
+		s.noise.FillScaled(dst, s.SigmaMW)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return out.Value(), out, nil
+}
+
+// noiseSalt separates the per-trial noise seed stream from the
+// per-trial SNG seed stream in trialSeeds.
+const noiseSalt = 0x9D5C0F6B42A1E37D
+
+// trialSeeds derives batch trial i's unit-generator seed and noise
+// seed from the simulator's base seed, via stochastic.DeriveSeed on
+// two salted streams. Trial i's randomness depends on (base, i) only,
+// which is what makes batch results scheduling-independent.
+func trialSeeds(base uint64, i int) (unitSeed, noiseSeed uint64) {
+	return stochastic.DeriveSeed(base, i), stochastic.DeriveSeed(base^noiseSalt, i)
+}
+
+// EvaluateBatch evaluates every input with a fresh `length`-bit noisy
+// stream, fanning the trials out over a runtime.GOMAXPROCS-sized
+// worker pool. Trial i runs with SNGs and a Gaussian noise stream seeded
+// from the simulator's seed and i only (trialSeeds), so the result is
+// reproducible regardless of core count or scheduling — it matches a
+// serial walk of core.NewUnit(..., unitSeed) steps fed with the
+// trial's own noise stream. The simulator's shared state (unit
+// tables, SigmaMW, seed) is only read: EvaluateBatch does not advance
+// the serial noise stream and may itself be called concurrently.
+func (s *Simulator) EvaluateBatch(xs []float64, length int) ([]float64, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("transient: stream length %d, need >= 1", length)
+	}
+	sigma := s.SigmaMW
+	out := make([]float64, len(xs))
+	errs := make([]error, len(xs))
+	parallel.For(len(xs), func(i int) {
+		unitSeed, noiseSeed := trialSeeds(s.seed, i)
+		g := NewGaussian(stochastic.NewSplitMix64(noiseSeed))
+		v, err := s.Unit.EvaluateNoisySeeded(unitSeed, xs[i], length, func(dst []float64) {
+			g.FillScaled(dst, sigma)
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = v
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// worstCasePair returns the worst channel's Eq. (8) one/zero pattern
+// levels and the midpoint decision threshold shared by the measured
+// and analytic worst-case BER.
+func (s *Simulator) worstCasePair() (oneLevel, zeroLevel, threshold float64) {
 	c := s.Unit.Circuit
 	n := c.P.Order
 	_, worst := c.WorstCaseDelta()
@@ -64,49 +139,61 @@ func (s *Simulator) MeasureWorstCaseBER(bits int) float64 {
 			zeroPattern[i] = 1
 		}
 	}
-	oneLevel := c.ReceivedPowerMW(worst, onePattern)
-	zeroLevel := c.ReceivedPowerMW(worst, zeroPattern)
+	oneLevel = c.ReceivedPowerMW(worst, onePattern)
+	zeroLevel = c.ReceivedPowerMW(worst, zeroPattern)
 	// The decision threshold for this channel pair sits midway
 	// between the pair's own levels, as the analytic SNR assumes.
-	threshold := (oneLevel + zeroLevel) / 2
+	threshold = (oneLevel + zeroLevel) / 2
+	return oneLevel, zeroLevel, threshold
+}
+
+// MeasureWorstCaseBER transmits the worst-case signal/crosstalk
+// patterns of Eq. (8) and returns the observed bit-error rate. Even
+// slots carry the worst channel's '1' pattern (only z_worst set); odd
+// slots carry its '0' pattern (every other coefficient set,
+// maximizing crosstalk). A non-positive slot count is an error, and
+// an odd count is rounded up so the two patterns are transmitted
+// equally often — an unbalanced split would bias the measurement
+// toward one pattern's error rate. Noise is drawn in blocks
+// (Gaussian.FillScaled), which consumes the stream exactly as the
+// serial per-slot draw would. The measurement converges to the
+// analytical Eq. (9) BER of the circuit.
+func (s *Simulator) MeasureWorstCaseBER(bits int) (float64, error) {
+	if bits <= 0 {
+		return 0, fmt.Errorf("transient: BER measurement needs bits >= 1, got %d", bits)
+	}
+	if bits%2 != 0 {
+		bits++ // balance the even/odd pattern split
+	}
+	oneLevel, zeroLevel, threshold := s.worstCasePair()
 
 	errors := 0
-	for t := 0; t < bits; t++ {
-		var level float64
-		var want int
-		if t%2 == 0 {
-			level, want = oneLevel, 1
-		} else {
-			level, want = zeroLevel, 0
-		}
-		got := 0
-		if level+s.noise.NextScaled(s.SigmaMW) > threshold {
-			got = 1
-		}
-		if got != want {
-			errors++
+	var noise [64]float64
+	for t := 0; t < bits; t += len(noise) {
+		nb := min(len(noise), bits-t)
+		s.noise.FillScaled(noise[:nb], s.SigmaMW)
+		for k := 0; k < nb; k++ {
+			level, want := oneLevel, 1
+			if (t+k)%2 != 0 {
+				level, want = zeroLevel, 0
+			}
+			got := 0
+			if level+noise[k] > threshold {
+				got = 1
+			}
+			if got != want {
+				errors++
+			}
 		}
 	}
-	return float64(errors) / float64(bits)
+	return float64(errors) / float64(bits), nil
 }
 
 // AnalyticWorstCaseBER returns the Eq. (9) prediction for the same
 // worst-case pattern pair measured by MeasureWorstCaseBER: the level
 // separation over the noise sigma, halved for the midpoint threshold.
 func (s *Simulator) AnalyticWorstCaseBER() float64 {
-	c := s.Unit.Circuit
-	n := c.P.Order
-	_, worst := c.WorstCaseDelta()
-	onePattern := make([]int, n+1)
-	onePattern[worst] = 1
-	zeroPattern := make([]int, n+1)
-	for i := range zeroPattern {
-		if i != worst {
-			zeroPattern[i] = 1
-		}
-	}
-	oneLevel := c.ReceivedPowerMW(worst, onePattern)
-	zeroLevel := c.ReceivedPowerMW(worst, zeroPattern)
+	oneLevel, zeroLevel, _ := s.worstCasePair()
 	snr := (oneLevel - zeroLevel) / s.SigmaMW
 	if snr <= 0 {
 		return 0.5
@@ -129,8 +216,10 @@ type AccuracyPoint struct {
 // AccuracyVsLength measures the end-to-end RMSE at input x for each
 // stream length, averaging over trials runs — the §V.B trade-off:
 // transmission errors and stochastic fluctuation both shrink as
-// streams lengthen, at proportional cost in throughput.
-func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) []AccuracyPoint {
+// streams lengthen, at proportional cost in throughput. Trials run
+// through the word-parallel noisy path (EvaluateWords), advancing the
+// simulator's generators just as serial evaluation would.
+func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -142,7 +231,10 @@ func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) []Acc
 		}
 		sum := 0.0
 		for tr := 0; tr < trials; tr++ {
-			got, _ := s.Evaluate(x, l)
+			got, _, err := s.EvaluateWords(x, l)
+			if err != nil {
+				return nil, err
+			}
 			d := got - want
 			sum += d * d
 		}
@@ -152,7 +244,7 @@ func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) []Acc
 			ThroughputResultsPerSec: s.Unit.Circuit.P.ThroughputBitsPerSec(l),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // String implements fmt.Stringer.

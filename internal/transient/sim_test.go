@@ -49,7 +49,10 @@ func TestMeasuredBERMatchesAnalytic(t *testing.T) {
 	s := NewSimulator(u, 10)
 
 	analytic := s.AnalyticWorstCaseBER()
-	measured := s.MeasureWorstCaseBER(200_000)
+	measured, err := s.MeasureWorstCaseBER(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if analytic <= 0 {
 		t.Fatalf("analytic BER = %g", analytic)
 	}
@@ -87,7 +90,10 @@ func TestNoisyEvaluationStillConverges(t *testing.T) {
 	// perturbs the result.
 	s := newTestSim(t, 0, 21)
 	for _, x := range []float64{0.25, 0.5, 0.75} {
-		got, _ := s.Evaluate(x, 1<<14)
+		got, _, err := s.Evaluate(x, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := s.Unit.Poly.Eval(x)
 		if math.Abs(got-want) > 0.02 {
 			t.Errorf("x=%g: noisy %g vs analytic %g", x, got, want)
@@ -97,7 +103,10 @@ func TestNoisyEvaluationStillConverges(t *testing.T) {
 
 func TestAccuracyVsLengthTradeoff(t *testing.T) {
 	s := newTestSim(t, 0, 33)
-	pts := s.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096}, 40)
+	pts, err := s.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 4 {
 		t.Fatalf("%d points", len(pts))
 	}
@@ -123,7 +132,10 @@ func TestAccuracyVsLengthTradeoff(t *testing.T) {
 
 func TestAccuracyVsLengthDegenerate(t *testing.T) {
 	s := newTestSim(t, 0, 40)
-	pts := s.AccuracyVsLength(0.5, []int{0, -5, 16}, 0)
+	pts, err := s.AccuracyVsLength(0.5, []int{0, -5, 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 1 || pts[0].StreamLen != 16 {
 		t.Errorf("degenerate lengths mishandled: %v", pts)
 	}
@@ -136,12 +148,61 @@ func TestNoiseDegradesAccuracy(t *testing.T) {
 	noisy.SigmaMW = 0.25 // comparable to the eye opening
 
 	rmse := func(s *Simulator) float64 {
-		pts := s.AccuracyVsLength(0.5, []int{512}, 60)
+		pts, err := s.AccuracyVsLength(0.5, []int{512}, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return pts[0].RMSE
 	}
 	q, n := rmse(quiet), rmse(noisy)
 	if n <= q {
 		t.Errorf("noise did not degrade accuracy: quiet %g vs noisy %g", q, n)
+	}
+}
+
+// TestEvaluateRejectsBadLength is the regression for the NaN an
+// empty bitstream used to produce: every evaluation entry point must
+// reject a non-positive stream length, matching the GammaReSC /
+// GammaOptical validation.
+func TestEvaluateRejectsBadLength(t *testing.T) {
+	s := newTestSim(t, 0, 61)
+	for _, l := range []int{0, -7} {
+		if v, _, err := s.Evaluate(0.5, l); err == nil {
+			t.Errorf("Evaluate(%d) = %g, want error", l, v)
+		}
+		if v, _, err := s.EvaluateWords(0.5, l); err == nil {
+			t.Errorf("EvaluateWords(%d) = %g, want error", l, v)
+		}
+		if _, err := s.EvaluateBatch([]float64{0.5}, l); err == nil {
+			t.Errorf("EvaluateBatch(len %d) accepted", l)
+		}
+	}
+}
+
+// TestMeasureWorstCaseBERValidation is the regression for the bits<=0
+// division by zero (NaN) and the odd-count pattern bias.
+func TestMeasureWorstCaseBERValidation(t *testing.T) {
+	s := newTestSim(t, 0, 62)
+	for _, bits := range []int{0, -100} {
+		if ber, err := s.MeasureWorstCaseBER(bits); err == nil {
+			t.Errorf("MeasureWorstCaseBER(%d) = %g, want error", bits, ber)
+		}
+	}
+	// An odd count is rounded up so both patterns are transmitted
+	// equally often: same fresh simulator, same result as the next
+	// even count.
+	for _, bits := range []int{1, 99_999} {
+		odd, err := newTestSim(t, 0, 63).MeasureWorstCaseBER(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		even, err := newTestSim(t, 0, 63).MeasureWorstCaseBER(bits + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if odd != even {
+			t.Errorf("odd %d not balanced: %g vs %g at %d", bits, odd, even, bits+1)
+		}
 	}
 }
 

@@ -39,10 +39,14 @@ func BERWaterfall(base core.Params, powersMW []float64, bits int, seed uint64) (
 			return nil, err
 		}
 		sim := NewSimulator(u, seed+uint64(i)*0x85EBCA6B+1)
+		measured, err := sim.MeasureWorstCaseBER(bits)
+		if err != nil {
+			return nil, err
+		}
 		out = append(out, WaterfallPoint{
 			ProbeMW:     p,
 			AnalyticBER: sim.AnalyticWorstCaseBER(),
-			MeasuredBER: sim.MeasureWorstCaseBER(bits),
+			MeasuredBER: measured,
 		})
 	}
 	return out, nil
