@@ -9,6 +9,7 @@ package repro_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -241,6 +242,50 @@ func BenchmarkGammaReSC(b *testing.B) {
 		}
 		b.ReportMetric(img.PSNR(img.GammaExact(src, gamma), out), "PSNR_dB")
 	})
+}
+
+// BenchmarkRobertsCross contrasts the bit-serial Robert's-cross
+// oracle with the packed tiled engine at the paper-scale stream
+// length — the tentpole speedup (≥4× single-core, times the core
+// count from the tile pool). The two paths emit bit-identical images.
+// The checkerboard is the canonical edge test card, where the
+// engine's flat-window elision also kicks in (~17× single-core); the
+// dense radial image defeats the elision and isolates the fused
+// word-kernel gain alone.
+func BenchmarkRobertsCross(b *testing.B) {
+	const streamLen, seed = 4096, 7
+	run := func(name string, singleCore bool, src *img.Gray, f func(*img.Gray) (*img.Gray, error)) {
+		b.Run(name, func(b *testing.B) {
+			if singleCore {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			}
+			exact := img.RobertsCrossExact(src)
+			var out *img.Gray
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err = f(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(img.PSNR(exact, out), "PSNR_dB")
+		})
+	}
+	serial := func(src *img.Gray) (*img.Gray, error) {
+		return img.RobertsCrossSCSerial(src, streamLen, seed)
+	}
+	packed := func(src *img.Gray) (*img.Gray, error) {
+		return img.RobertsCrossSC(src, streamLen, seed)
+	}
+	board := img.Checkerboard(64, 64, 8, 30, 220)
+	dense := img.Radial(64, 64)
+	run("serial", false, board, serial)
+	run("packed-1core", true, board, packed)
+	run("packed", false, board, packed)
+	run("dense-serial", false, dense, serial)
+	run("dense-packed-1core", true, dense, packed)
 }
 
 // BenchmarkGammaOptical is the optical-unit counterpart: per-level

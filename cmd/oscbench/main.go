@@ -11,6 +11,7 @@
 //	oscbench -fig tradeoff     # throughput-accuracy extension (§V.B)
 //	oscbench -fig sweep        # noiseless accuracy vs stream length (batch engine)
 //	oscbench -fig noise        # Monte-Carlo noise study (batched noisy engine)
+//	oscbench -fig edge         # image PSNR vs stream length (packed tiled engine)
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, noise, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, noise, edge, ablation, all")
 	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a)")
 	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a)")
 	flag.Parse()
@@ -167,6 +168,17 @@ func run(fig string, gridN, sweepN int) error {
 			return err
 		}
 		if err := dse.RenderNoiseStudy(w, rows, spec); err != nil {
+			return err
+		}
+	}
+	if want("edge") {
+		any = true
+		section("Image PSNR vs stream length (packed tiled engine)")
+		rows, err := dse.EdgeStudy([]int{64, 256, 1024, 4096}, 7)
+		if err != nil {
+			return err
+		}
+		if err := dse.RenderEdgeStudy(w, rows); err != nil {
 			return err
 		}
 	}

@@ -41,6 +41,25 @@
 //	vals, err := sim.EvaluateBatch(trialInputs, 4096)  // Monte-Carlo fan-out
 //	ber, err := sim.MeasureWorstCaseBER(200_000)       // batched Eq. (8) patterns
 //
+// Image workloads run word-parallel end to end. Gamma correction
+// builds its 256-level LUT through the batch engines; Robert's-cross
+// edge detection — per-pixel correlated streams, no LUT shortcut —
+// runs on a tiled multi-core engine (image.RobertsCrossSC) built from
+// word-level plane kernels: stochastic.FillCorrelatedPlanes draws one
+// shared uniform per clock against two thresholds so XOR computes
+// |a−b| exactly, stochastic.FillAbsDiffPlane fuses that pair with its
+// XOR, and Xor/Not/Mux plane combinators run on per-worker scratch
+// with zero per-pixel allocations. Per-pixel stochastic.DeriveSeed
+// seeding keeps the tiled output bit-identical to the bit-serial
+// oracle on any GOMAXPROCS; flat image regions elide their RNG draws
+// entirely. core.AnalyzeYield fans Monte-Carlo dies over the same
+// pool with per-die derived seeds, reproducible on any core count.
+// Quickstart:
+//
+//	sc, err := image.RobertsCrossSC(src, 4096, seed)  // packed tiled engine
+//	oracle, err := image.RobertsCrossSCSerial(src, 4096, seed)  // identical bits
+//	rows, err := dse.EdgeStudy([]int{64, 256, 1024, 4096}, 7)   // oscbench -fig edge
+//
 // The implementation lives in internal/ packages:
 //
 //   - internal/numeric — numerical substrate (special functions,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/stochastic"
 )
 
@@ -74,8 +75,48 @@ func (g *gaussian) next() float64 {
 	return r * math.Cos(2*math.Pi*v)
 }
 
+// dieOutcome is one fabricated die's measurement. A structural die is
+// one so far off it violates the circuit's structural constraints — a
+// failed die with the worst-case BER and no eye.
+type dieOutcome struct {
+	ber, eye   float64
+	structural bool
+}
+
+// fabricateDie perturbs one virtual die of p with variation v, drawing
+// every Gaussian from g in a fixed order, and measures it.
+func fabricateDie(p Params, v VariationSpec, g *gaussian) dieOutcome {
+	die := p
+	// MZI device variation (clamped to physical ranges).
+	die.MZI.ILdB = math.Max(0, die.MZI.ILdB+g.next()*v.MZIILSigmaDB)
+	die.MZI.ERdB = math.Max(0.1, die.MZI.ERdB+g.next()*v.MZIERSigmaDB)
+	// Filter resonance variation enters through the offset.
+	die.FilterOffsetNM = math.Max(0, die.FilterOffsetNM+g.next()*v.RingResonanceSigmaNM)
+
+	c, err := NewCircuit(die)
+	if err != nil {
+		return dieOutcome{ber: 0.5, structural: true}
+	}
+	// Per-ring perturbations on the instantiated devices.
+	for i := range c.Modulators {
+		c.Modulators[i].ResonanceNM += g.next() * v.RingResonanceSigmaNM
+		c.Modulators[i].SelfCoupling1 = clamp01open(c.Modulators[i].SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
+		c.Modulators[i].SelfCoupling2 = clamp01open(c.Modulators[i].SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
+	}
+	c.Filter.SelfCoupling1 = clamp01open(c.Filter.SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
+	c.Filter.SelfCoupling2 = clamp01open(c.Filter.SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
+
+	return dieOutcome{ber: c.BER(), eye: c.EyeOpeningMW()}
+}
+
 // AnalyzeYield fabricates `Samples` virtual dies of the design p with
 // the given variation and reports how many still meet the BER target.
+//
+// Dies fan out over the internal/parallel worker pool: die s draws its
+// Gaussians from a generator seeded by stochastic.DeriveSeed(Seed, s)
+// alone, and the per-die outcomes are aggregated in index order, so
+// the result is identical on any core count or scheduling. The
+// sweep therefore scales with cores while staying reproducible.
 func AnalyzeYield(p Params, v VariationSpec) (YieldResult, error) {
 	if v.Samples < 1 {
 		return YieldResult{}, fmt.Errorf("core: yield needs >= 1 sample")
@@ -86,42 +127,24 @@ func AnalyzeYield(p Params, v VariationSpec) (YieldResult, error) {
 	if err := p.Validate(); err != nil {
 		return YieldResult{}, err
 	}
-	g := &gaussian{src: stochastic.NewSplitMix64(v.Seed)}
+	dies := make([]dieOutcome, v.Samples)
+	parallel.For(v.Samples, func(s int) {
+		g := &gaussian{src: stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s))}
+		dies[s] = fabricateDie(p, v, g)
+	})
 
 	res := YieldResult{Samples: v.Samples}
 	sumBER, sumEye := 0.0, 0.0
-	for s := 0; s < v.Samples; s++ {
-		die := p
-		// MZI device variation (clamped to physical ranges).
-		die.MZI.ILdB = math.Max(0, die.MZI.ILdB+g.next()*v.MZIILSigmaDB)
-		die.MZI.ERdB = math.Max(0.1, die.MZI.ERdB+g.next()*v.MZIERSigmaDB)
-		// Filter resonance variation enters through the offset.
-		die.FilterOffsetNM = math.Max(0, die.FilterOffsetNM+g.next()*v.RingResonanceSigmaNM)
-
-		c, err := NewCircuit(die)
-		if err != nil {
-			// A die so far off it violates structural constraints is
-			// simply a failed die.
-			sumBER += 0.5
+	for _, o := range dies {
+		sumBER += o.ber
+		if o.ber > res.WorstBER {
+			res.WorstBER = o.ber
+		}
+		if o.structural {
 			continue
 		}
-		// Per-ring perturbations on the instantiated devices.
-		for i := range c.Modulators {
-			c.Modulators[i].ResonanceNM += g.next() * v.RingResonanceSigmaNM
-			c.Modulators[i].SelfCoupling1 = clamp01open(c.Modulators[i].SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
-			c.Modulators[i].SelfCoupling2 = clamp01open(c.Modulators[i].SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
-		}
-		c.Filter.SelfCoupling1 = clamp01open(c.Filter.SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
-		c.Filter.SelfCoupling2 = clamp01open(c.Filter.SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
-
-		ber := c.BER()
-		eye := c.EyeOpeningMW()
-		sumBER += ber
-		sumEye += eye
-		if ber > res.WorstBER {
-			res.WorstBER = ber
-		}
-		if ber <= v.TargetBER {
+		sumEye += o.eye
+		if o.ber <= v.TargetBER {
 			res.Pass++
 		}
 	}

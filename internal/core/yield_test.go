@@ -1,8 +1,11 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/stochastic"
 )
 
 func TestYieldPerfectWithoutVariation(t *testing.T) {
@@ -73,6 +76,72 @@ func TestYieldReproducible(t *testing.T) {
 	}
 	if a == c {
 		t.Error("different seeds gave identical Monte-Carlo results")
+	}
+}
+
+// TestYieldMatchesSerialOracle pins the parallel fan-out to a fixed
+// per-die-seed oracle: a plain sequential loop fabricating die s from
+// stochastic.DeriveSeed(Seed, s) must reproduce AnalyzeYield exactly,
+// including the mean-BER/eye float sums (aggregation is serial and
+// index-ordered in both).
+func TestYieldMatchesSerialOracle(t *testing.T) {
+	p := PaperParams()
+	v := VariationSpec{
+		RingResonanceSigmaNM: 0.08,
+		CouplingSigma:        0.02,
+		MZIILSigmaDB:         0.5,
+		MZIERSigmaDB:         1,
+		Samples:              40, Seed: 5, TargetBER: 1e-6,
+	}
+	got, err := AnalyzeYield(p, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := YieldResult{Samples: v.Samples}
+	sumBER, sumEye := 0.0, 0.0
+	for s := 0; s < v.Samples; s++ {
+		g := &gaussian{src: stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s))}
+		o := fabricateDie(p, v, g)
+		sumBER += o.ber
+		if o.ber > want.WorstBER {
+			want.WorstBER = o.ber
+		}
+		if o.structural {
+			continue
+		}
+		sumEye += o.eye
+		if o.ber <= v.TargetBER {
+			want.Pass++
+		}
+	}
+	want.Yield = float64(want.Pass) / float64(v.Samples)
+	want.MeanBER = sumBER / float64(v.Samples)
+	want.MeanEyeMW = sumEye / float64(v.Samples)
+	if got != want {
+		t.Errorf("parallel %+v\n  oracle %+v", got, want)
+	}
+}
+
+// TestYieldGOMAXPROCSDeterminism: the Monte-Carlo sweep is identical
+// on one core and on all of them.
+func TestYieldGOMAXPROCSDeterminism(t *testing.T) {
+	p := PaperParams()
+	spec := VariationSpec{
+		RingResonanceSigmaNM: 0.1,
+		CouplingSigma:        0.03,
+		Samples:              50, Seed: 17, TargetBER: 1e-6,
+	}
+	multi, err := AnalyzeYield(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	single, err := AnalyzeYield(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi != single {
+		t.Errorf("GOMAXPROCS changed the result:\n  multi  %+v\n  single %+v", multi, single)
 	}
 }
 

@@ -1,15 +1,28 @@
-// Package image provides the gamma-correction image-processing
-// application the paper motivates its 6th-order polynomial evaluation
-// with (§V.C): a minimal grayscale image type with PGM I/O, synthetic
-// test-image generators, and pipelines that apply the gamma transfer
-// function three ways — exactly, through the electronic ReSC
-// baseline, and through the optical stochastic-computing unit — with
-// PSNR against the exact result as the quality metric.
+// Package image provides the error-tolerant image-processing
+// applications the paper motivates stochastic computing with (§V.C):
+// a minimal grayscale image type with PGM I/O, synthetic test-image
+// generators, and the two canonical SC workloads — gamma correction
+// and Robert's-cross edge detection — each computed exactly and
+// stochastically, with PSNR against the exact result as the quality
+// metric.
 //
-// Gray levels map to probabilities as v/255; a stochastic evaluation
-// of the degree-6 Bernstein approximation of x^gamma produces the
-// corrected level. Because an image has at most 256 distinct levels,
-// the pipelines evaluate each level once and apply the result as a
-// lookup table, matching how a hardware unit would stream per-level
-// bit-streams.
+// Gamma correction maps gray levels to probabilities as v/255 and
+// evaluates a degree-6 Bernstein approximation of x^gamma once per
+// distinct level through the word-parallel batch engines (GammaReSC,
+// GammaOptical), applying the result as a lookup table.
+//
+// Edge detection has no LUT shortcut — every pixel window needs its
+// own correlated streams — so RobertsCrossSC is a packed tiled
+// engine: row bands fan out over the internal/parallel pool, and each
+// worker streams its pixels through word-level plane kernels
+// (stochastic.FillAbsDiffPlane, stochastic.MuxPlanes) on per-worker
+// scratch, with flat diagonal pairs eliding their RNG draws entirely.
+// Per-pixel seeds derive from the pixel index via
+// stochastic.DeriveSeed, so the output is bit-identical to the
+// bit-serial oracle (RobertsCrossSCSerial) on any core count.
+// Quickstart:
+//
+//	src := image.Checkerboard(64, 64, 8, 30, 220)
+//	sc, err := image.RobertsCrossSC(src, 4096, 7)   // packed tiled engine
+//	psnr := image.PSNR(image.RobertsCrossExact(src), sc)
 package image

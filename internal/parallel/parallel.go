@@ -31,13 +31,34 @@ func Workers(n int) int {
 // randomness from i alone (not from worker identity) for results to
 // be reproducible. For returns once every call has completed.
 func For(n int, fn func(i int)) {
+	ForWorker(n, 0, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the executing worker's pool index (in
+// [0, workers)) passed alongside the item index. Each worker index
+// belongs to exactly one goroutine for the duration of the call, so
+// fn may use it to address per-worker scratch without synchronization
+// — keeping allocations O(workers) instead of O(items). Callers that
+// pre-size scratch pass the same `workers` they sized it for (clamped
+// to [1, n]); workers <= 0 means Workers(n). The caller-supplied
+// count is what makes the scratch contract race-free: sizing from a
+// separate Workers call could disagree with the pool if GOMAXPROCS
+// moved in between. The scheduling caveat of For still applies: which
+// worker runs which item is nondeterministic, so scratch must carry
+// no state between items that affects results.
+func ForWorker(n, workers int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := Workers(n)
+	if workers < 1 {
+		workers = Workers(n)
+	}
+	if workers > n {
+		workers = n
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -45,16 +66,16 @@ func For(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

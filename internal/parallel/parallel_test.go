@@ -18,6 +18,58 @@ func TestForCoversAllIndicesOnce(t *testing.T) {
 	}
 }
 
+func TestForWorkerCoversAllIndicesWithValidWorkers(t *testing.T) {
+	for _, n := range []int{1, 7, 500} {
+		// Caller-supplied counts (clamped to [1, n]) and the
+		// workers<=0 auto-size must both keep worker in bounds.
+		for _, workers := range []int{0, 1, 3, n + 5} {
+			counts := make([]atomic.Int32, n)
+			maxWorker := workers
+			if maxWorker < 1 {
+				maxWorker = Workers(n)
+			}
+			if maxWorker > n {
+				maxWorker = n
+			}
+			var bad atomic.Int32
+			ForWorker(n, workers, func(worker, i int) {
+				if worker < 0 || worker >= maxWorker {
+					bad.Add(1)
+				}
+				counts[i].Add(1)
+			})
+			if bad.Load() != 0 {
+				t.Fatalf("n=%d workers=%d: %d calls with worker outside [0,%d)",
+					n, workers, bad.Load(), maxWorker)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForWorkerScratchExclusive: per-worker scratch is never touched
+// by two goroutines at once — the contract tiled engines rely on.
+// `go test -race` turns any violation into a hard failure.
+func TestForWorkerScratchExclusive(t *testing.T) {
+	const n = 200
+	workers := Workers(n)
+	scratch := make([][]int, workers)
+	ForWorker(n, workers, func(worker, i int) {
+		scratch[worker] = append(scratch[worker], i)
+	})
+	total := 0
+	for _, s := range scratch {
+		total += len(s)
+	}
+	if total != n {
+		t.Errorf("scratch items = %d, want %d", total, n)
+	}
+}
+
 func TestForNegative(t *testing.T) {
 	ran := false
 	For(-3, func(i int) { ran = true })

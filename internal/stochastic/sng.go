@@ -88,15 +88,15 @@ func bernoulliWord(src NumberSource, p float64, nbits int) uint64 {
 	var w uint64
 	if sm, ok := src.(*SplitMix64); ok {
 		// Devirtualized fast path with the comparison moved to the
-		// integer domain. Next() < p compares k/2^53 against p with
-		// k = NextUint64()>>11; both k/2^53 and p·2^53 are exact
-		// (power-of-two scaling), so k < ceil(p·2^53) is the same
-		// predicate and the per-sample int→float conversion drops out.
-		thr := uint64(math.Ceil(p * (1 << 53)))
+		// integer domain (see probThreshold in plane.go) and made
+		// branchless: k and thr both sit far below 2^63, so k < thr
+		// iff k−thr wraps, i.e. bit 63 of the difference. Stochastic
+		// bits are maximally unpredictable, so a branch here would
+		// mispredict half the time.
+		thr := probThreshold(p)
 		for b := 0; b < nbits; b++ {
-			if sm.NextUint64()>>11 < thr {
-				w |= 1 << uint(b)
-			}
+			k := sm.NextUint64() >> 11
+			w |= (k - thr) >> 63 << uint(b)
 		}
 		return w
 	}
@@ -274,6 +274,11 @@ type SplitMix64 struct {
 
 // NewSplitMix64 seeds the generator.
 func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Reseed resets the generator to the given seed's sequence, as if
+// freshly constructed. Tiled engines reuse one generator per worker
+// across millions of per-pixel streams instead of allocating one each.
+func (s *SplitMix64) Reseed(seed uint64) { s.state = seed }
 
 // NextUint64 advances the sequence.
 func (s *SplitMix64) NextUint64() uint64 {
