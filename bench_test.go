@@ -459,7 +459,10 @@ func BenchmarkAblationRingLinewidth(b *testing.B) {
 	}
 }
 
-// BenchmarkSyncSweep measures the pulse-synchronization study (§V.D).
+// BenchmarkSyncSweep contrasts the bit-serial pulse-synchronization
+// oracle (§V.D) with the word-parallel sweep: block Gaussian fills per
+// offset, offsets fanned over the pool with derived seeds. The two
+// paths return identical points.
 func BenchmarkSyncSweep(b *testing.B) {
 	p := core.PaperParams()
 	c := core.MustCircuit(p)
@@ -468,13 +471,152 @@ func BenchmarkSyncSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	sim := transient.NewSimulator(u, 6)
-	var pts []transient.SyncPoint
+	const points, bits = 16, 10_000
+	run := func(name string, singleCore bool, sweep func(points, bits int) []transient.SyncPoint) {
+		b.Run(name, func(b *testing.B) {
+			if singleCore {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			}
+			var pts []transient.SyncPoint
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts = sweep(points, bits)
+			}
+			b.ReportMetric(transient.WorstInPulseBER(pts), "BER_gated")
+			b.ReportMetric(transient.WorstOutOfPulseBER(pts), "BER_ungated")
+		})
+	}
+	run("serial", false, sim.SyncSweepSerial)
+	run("words-1core", true, sim.SyncSweep)
+	run("words", false, sim.SyncSweep)
+}
+
+// BenchmarkMeasureEye contrasts the Step-per-slot eye oracle with the
+// word-parallel measurement (core.Unit.Cycles + block noise); the two
+// accumulate identical statistics.
+func BenchmarkMeasureEye(b *testing.B) {
+	c := core.MustCircuit(core.PaperParams())
+	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := transient.NewSimulator(u, 6)
+	const bits = 20_000
+	b.Run("serial", func(b *testing.B) {
+		var e transient.EyeStats
+		for i := 0; i < b.N; i++ {
+			e = sim.MeasureEyeSerial(0.5, bits)
+		}
+		b.ReportMetric(e.OpeningMW, "opening_mW")
+	})
+	b.Run("words", func(b *testing.B) {
+		var e transient.EyeStats
+		for i := 0; i < b.N; i++ {
+			e = sim.MeasureEye(0.5, bits)
+		}
+		b.ReportMetric(e.OpeningMW, "opening_mW")
+	})
+}
+
+// BenchmarkFig6aSweep measures the multi-core Fig. 6(a) grid (one full
+// MZI-first solve per cell) at the oscbench default resolution —
+// near-linear scaling across the 1-core and all-core variants is the
+// sweep engine's contract.
+func BenchmarkFig6aSweep(b *testing.B) {
+	run := func(name string, singleCore bool) {
+		b.Run(name, func(b *testing.B) {
+			if singleCore {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			}
+			var pts []dse.Fig6APoint
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts = dse.Fig6A(6, 6)
+			}
+			b.StopTimer()
+			worst := 0.0
+			for _, p := range pts {
+				if p.Feasible && p.ProbeMW > worst {
+					worst = p.ProbeMW
+				}
+			}
+			b.ReportMetric(worst, "max_probe_mW")
+		})
+	}
+	run("1core", true)
+	run("allcores", false)
+}
+
+// BenchmarkFig7aSweep measures the parallel Fig. 7(a) energy sweep
+// (orders × spacings, one MRR-first solve per point).
+func BenchmarkFig7aSweep(b *testing.B) {
+	run := func(name string, singleCore bool) {
+		b.Run(name, func(b *testing.B) {
+			if singleCore {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			}
+			var series []dse.Fig7ASeries
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				series, err = dse.Fig7A([]int{2, 4, 6}, 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(series[0].Optimum.TotalPJ(), "n2_opt_pJ")
+		})
+	}
+	run("1core", true)
+	run("allcores", false)
+}
+
+// BenchmarkRingSensitivitySweep measures the parallel ablation sweep
+// (one energy-optimum search per linewidth scale).
+func BenchmarkRingSensitivitySweep(b *testing.B) {
+	scales := []float64{0.75, 1.0, 1.25, 1.5}
+	run := func(name string, singleCore bool) {
+		b.Run(name, func(b *testing.B) {
+			if singleCore {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+			}
+			var rows []dse.RingSensitivityRow
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows = dse.RingSensitivity(scales)
+			}
+			b.StopTimer()
+			b.ReportMetric(rows[1].OptSpacingNM, "opt_nm@1x")
+		})
+	}
+	run("1core", true)
+	run("allcores", false)
+}
+
+// BenchmarkYieldDie measures one fabricated die's analysis — circuit
+// build, Eq. (8) margin, BER and eye scan — the cached-circuit
+// consumer the PowerTable/factor caches speed up (the die runs its
+// band scan off one shared factor tabulation instead of re-evaluating
+// ring Lorentzians per (weight, z) state).
+func BenchmarkYieldDie(b *testing.B) {
+	p := core.PaperParams()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var r core.YieldResult
+	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts = sim.SyncSweep(16, 10_000)
+		r, err = core.AnalyzeYield(p, core.VariationSpec{
+			RingResonanceSigmaNM: 0.05,
+			Samples:              1,
+			Seed:                 7,
+			TargetBER:            1e-6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
-	b.ReportMetric(transient.WorstInPulseBER(pts), "BER_gated")
-	b.ReportMetric(transient.WorstOutOfPulseBER(pts), "BER_ungated")
+	b.ReportMetric(r.MeanBER, "die_BER")
 }
 
 // BenchmarkCalibrationLoop measures the future-work (i) control loop:

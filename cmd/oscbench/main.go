@@ -13,12 +13,23 @@
 //	oscbench -fig noise        # Monte-Carlo noise study (batched noisy engine)
 //	oscbench -fig edge         # image PSNR vs stream length (packed tiled engine)
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
+//
+// Every sweep runs on the deterministic parallel engine in
+// internal/dse, so figures are identical at any worker count:
+//
+//	oscbench -workers 4        # cap the worker pool at 4
+//	oscbench -timing           # print per-figure wall time
+//	oscbench -grid 12          # denser Fig 6(a) grid (>= 2)
+//	oscbench -sweep 21         # denser Fig 7(a) spacing sweep (>= 2)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dse"
@@ -28,137 +39,76 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, noise, edge, ablation, all")
-	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a)")
-	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a)")
+	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a) (>= 2)")
+	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a) (>= 2)")
+	workers := flag.Int("workers", 0, "cap the parallel worker pool (0 = all cores)")
+	timing := flag.Bool("timing", false, "print per-figure wall time")
 	flag.Parse()
 
-	if err := run(*fig, *gridN, *sweepN); err != nil {
+	if err := run(os.Stdout, *fig, *gridN, *sweepN, *workers, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "oscbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, gridN, sweepN int) error {
-	w := os.Stdout
-	section := func(name string) { fmt.Fprintf(w, "\n==== %s ====\n\n", name) }
+// figure is one renderable section: its -fig key, display title and
+// generator.
+type figure struct {
+	key, title string
+	render     func(w io.Writer, gridN, sweepN int) error
+}
 
-	want := func(name string) bool { return fig == "all" || fig == name }
-
-	any := false
-	if want("5a") {
-		any = true
-		section("Fig 5(a)")
-		if err := dse.RenderFig5Case(w, dse.Fig5A()); err != nil {
-			return err
-		}
-	}
-	if want("5b") {
-		any = true
-		section("Fig 5(b)")
-		if err := dse.RenderFig5Case(w, dse.Fig5B()); err != nil {
-			return err
-		}
-	}
-	if want("5c") {
-		any = true
-		section("Fig 5(c)")
-		if err := dse.RenderFig5C(w, dse.Fig5C()); err != nil {
-			return err
-		}
-	}
-	if want("6a") {
-		any = true
-		section("Fig 6(a)")
-		if err := dse.RenderFig6A(w, dse.Fig6A(gridN, gridN)); err != nil {
-			return err
-		}
-	}
-	if want("6b") {
-		any = true
-		section("Fig 6(b)")
+// figures lists every section in -fig all order.
+var figures = []figure{
+	{"5a", "Fig 5(a)", func(w io.Writer, _, _ int) error {
+		return dse.RenderFig5Case(w, dse.Fig5A())
+	}},
+	{"5b", "Fig 5(b)", func(w io.Writer, _, _ int) error {
+		return dse.RenderFig5Case(w, dse.Fig5B())
+	}},
+	{"5c", "Fig 5(c)", func(w io.Writer, _, _ int) error {
+		return dse.RenderFig5C(w, dse.Fig5C())
+	}},
+	{"6a", "Fig 6(a)", func(w io.Writer, gridN, _ int) error {
+		return dse.RenderFig6A(w, dse.Fig6A(gridN, gridN))
+	}},
+	{"6b", "Fig 6(b)", func(w io.Writer, _, _ int) error {
 		pts, err := dse.Fig6B([]float64{1e-2, 1e-4, 1e-6})
 		if err != nil {
 			return err
 		}
-		if err := dse.RenderFig6B(w, pts); err != nil {
-			return err
-		}
-	}
-	if want("6c") {
-		any = true
-		section("Fig 6(c)")
-		if err := dse.RenderFig6C(w, dse.Fig6C()); err != nil {
-			return err
-		}
-	}
-	if want("7a") {
-		any = true
-		section("Fig 7(a)")
-		series, err := dse.Fig7A([]int{2, 4, 6}, sweepN)
-		if err != nil {
-			return err
-		}
-		if err := dse.RenderFig7A(w, series); err != nil {
-			return err
-		}
-		fmt.Fprintln(w, "\nn=2 curves (chart):")
-		chartPts := core.NewEnergyModel(2).Sweep(0.11, 0.3, 48)
-		if err := dse.RenderEnergyChartASCII(w, chartPts, 96, 18, 70); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		profile, err := dse.ApplicationProfile()
-		if err != nil {
-			return err
-		}
-		if err := dse.RenderApplicationProfile(w, profile); err != nil {
-			return err
-		}
-	}
-	if want("7b") {
-		any = true
-		section("Fig 7(b)")
+		return dse.RenderFig6B(w, pts)
+	}},
+	{"6c", "Fig 6(c)", func(w io.Writer, _, _ int) error {
+		return dse.RenderFig6C(w, dse.Fig6C())
+	}},
+	{"7a", "Fig 7(a)", renderFig7A},
+	{"7b", "Fig 7(b)", func(w io.Writer, _, _ int) error {
 		rows, err := dse.Fig7B([]int{2, 4, 8, 12, 16})
 		if err != nil {
 			return err
 		}
-		if err := dse.RenderFig7B(w, rows); err != nil {
-			return err
-		}
-	}
-	if want("summary") {
-		any = true
-		section("Summary")
+		return dse.RenderFig7B(w, rows)
+	}},
+	{"summary", "Summary", func(w io.Writer, _, _ int) error {
 		s, err := dse.Summary()
 		if err != nil {
 			return err
 		}
-		if err := dse.RenderSummary(w, s); err != nil {
-			return err
-		}
-	}
-	if want("tradeoff") {
-		any = true
-		section("Throughput-accuracy trade-off (§V.B extension)")
-		if err := renderTradeoff(w); err != nil {
-			return err
-		}
-	}
-	if want("sweep") {
-		any = true
-		section("Accuracy vs stream length (word-parallel batch engine)")
+		return dse.RenderSummary(w, s)
+	}},
+	{"tradeoff", "Throughput-accuracy trade-off (§V.B extension)", func(w io.Writer, _, _ int) error {
+		return renderTradeoff(w)
+	}},
+	{"sweep", "Accuracy vs stream length (word-parallel batch engine)", func(w io.Writer, _, _ int) error {
 		const sweepPoints = 17
 		rows, err := dse.StreamLengthSweep([]int{64, 256, 1024, 4096, 16384}, sweepPoints, 9)
 		if err != nil {
 			return err
 		}
-		if err := dse.RenderStreamLengthSweep(w, rows, sweepPoints); err != nil {
-			return err
-		}
-	}
-	if want("noise") {
-		any = true
-		section("Monte-Carlo noise study (accuracy/BER vs length, probe power, sigma)")
+		return dse.RenderStreamLengthSweep(w, rows, sweepPoints)
+	}},
+	{"noise", "Monte-Carlo noise study (accuracy/BER vs length, probe power, sigma)", func(w io.Writer, _, _ int) error {
 		spec, err := dse.DefaultNoiseStudySpec()
 		if err != nil {
 			return err
@@ -167,50 +117,48 @@ func run(fig string, gridN, sweepN int) error {
 		if err != nil {
 			return err
 		}
-		if err := dse.RenderNoiseStudy(w, rows, spec); err != nil {
-			return err
-		}
-	}
-	if want("edge") {
-		any = true
-		section("Image PSNR vs stream length (packed tiled engine)")
+		return dse.RenderNoiseStudy(w, rows, spec)
+	}},
+	{"edge", "Image PSNR vs stream length (packed tiled engine)", func(w io.Writer, _, _ int) error {
 		rows, err := dse.EdgeStudy([]int{64, 256, 1024, 4096}, 7)
 		if err != nil {
 			return err
 		}
-		if err := dse.RenderEdgeStudy(w, rows); err != nil {
-			return err
-		}
+		return dse.RenderEdgeStudy(w, rows)
+	}},
+	{"ablation", "Ablations", renderAblations},
+}
+
+func run(w io.Writer, fig string, gridN, sweepN, workers int, timing bool) error {
+	if gridN < 2 {
+		return fmt.Errorf("-grid %d: need >= 2 points per axis", gridN)
 	}
-	if want("ablation") {
+	if sweepN < 2 {
+		return fmt.Errorf("-sweep %d: need >= 2 points", sweepN)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers %d: need >= 0", workers)
+	}
+	if workers > 0 {
+		// The worker pool sizes itself from GOMAXPROCS; capping it here
+		// bounds every sweep's parallelism. Results are unaffected: all
+		// sweeps are deterministic by index.
+		runtime.GOMAXPROCS(workers)
+	}
+
+	any := false
+	for _, f := range figures {
+		if fig != "all" && fig != f.key {
+			continue
+		}
 		any = true
-		section("Ablations")
-		if err := dse.RenderRingSensitivity(w, dse.RingSensitivity([]float64{0.75, 1.0, 1.25, 1.5})); err != nil {
+		fmt.Fprintf(w, "\n==== %s ====\n\n", f.title)
+		start := time.Now()
+		if err := f.render(w, gridN, sweepN); err != nil {
 			return err
 		}
-		fmt.Fprintln(w)
-		rows, err := dse.APDComparison(1e-6)
-		if err != nil {
-			return err
-		}
-		if err := dse.RenderAPDComparison(w, rows, 1e-6); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		ps, err := dse.ParallelScaling([]int{1, 4, 16, 64}, 256)
-		if err != nil {
-			return err
-		}
-		if err := dse.RenderParallelScaling(w, ps, 256); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		if err := core.MustCircuit(core.PaperParams()).ComputeLinkBudget().Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-		if err := renderYield(w); err != nil {
-			return err
+		if timing {
+			fmt.Fprintf(w, "[%s: %v]\n", f.key, time.Since(start).Round(time.Microsecond))
 		}
 	}
 	if !any {
@@ -219,7 +167,56 @@ func run(fig string, gridN, sweepN int) error {
 	return nil
 }
 
-func renderYield(w *os.File) error {
+func renderFig7A(w io.Writer, _, sweepN int) error {
+	series, err := dse.Fig7A([]int{2, 4, 6}, sweepN)
+	if err != nil {
+		return err
+	}
+	if err := dse.RenderFig7A(w, series); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nn=2 curves (chart):")
+	chartPts := core.NewEnergyModel(2).Sweep(0.11, 0.3, 48)
+	if err := dse.RenderEnergyChartASCII(w, chartPts, 96, 18, 70); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	profile, err := dse.ApplicationProfile()
+	if err != nil {
+		return err
+	}
+	return dse.RenderApplicationProfile(w, profile)
+}
+
+func renderAblations(w io.Writer, _, _ int) error {
+	if err := dse.RenderRingSensitivity(w, dse.RingSensitivity([]float64{0.75, 1.0, 1.25, 1.5})); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	rows, err := dse.APDComparison(1e-6)
+	if err != nil {
+		return err
+	}
+	if err := dse.RenderAPDComparison(w, rows, 1e-6); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	ps, err := dse.ParallelScaling([]int{1, 4, 16, 64}, 256)
+	if err != nil {
+		return err
+	}
+	if err := dse.RenderParallelScaling(w, ps, 256); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := core.MustCircuit(core.PaperParams()).ComputeLinkBudget().Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return renderYield(w)
+}
+
+func renderYield(w io.Writer) error {
 	fmt.Fprintln(w, "Monte-Carlo process variation (ring resonance σ, 200 dies, BER target 1e-6):")
 	p := core.PaperParams()
 	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
@@ -243,7 +240,7 @@ func renderYield(w *os.File) error {
 	return t.Render(w)
 }
 
-func renderTradeoff(w *os.File) error {
+func renderTradeoff(w io.Writer) error {
 	// Size the paper circuit for a deliberately noisy 1e-2 link, then
 	// show RMSE vs stream length with the implied throughput.
 	p := core.PaperParams()

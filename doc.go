@@ -60,6 +60,24 @@
 //	oracle, err := image.RobertsCrossSCSerial(src, 4096, seed)  // identical bits
 //	rows, err := dse.EdgeStudy([]int{64, 256, 1024, 4096}, 7)   // oscbench -fig edge
 //
+// The figure/design-space layer runs on a deterministic parallel
+// sweep engine (internal/dse): every study is an index-ordered list of
+// independent points fanned over the worker pool, with any randomness
+// derived from the point index (stochastic.DeriveSeed) — so `oscbench
+// -fig all` and the dse APIs scale with cores yet return identical
+// tables at any GOMAXPROCS (cap the pool with `oscbench -workers N`,
+// print per-figure wall time with `-timing`). Underneath, core.Circuit
+// caches its analysis once per instance — per-device transmission
+// factors, the (weight, z-mask) received-power table (PowerTable), the
+// power bands and the Eq. (8) margin — so design solves, yield dies
+// and the packed engines stop re-evaluating ring Lorentzians per
+// state. Quickstart:
+//
+//	pts := dse.Fig6A(12, 12)                          // parallel grid of MZIFirst solves
+//	rows := dse.Sweep(len(xs), func(i int) R { ... }) // custom sweep, index-ordered
+//	rows, err := dse.SweepSeededErr(n, seed, point)   // Monte-Carlo, per-point seeds
+//	pow := circuit.PowerTable()                       // shared (weight, zmask) -> mW
+//
 // The implementation lives in internal/ packages:
 //
 //   - internal/numeric — numerical substrate (special functions,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/parallel"
 	"repro/internal/stochastic"
 )
@@ -14,19 +16,14 @@ import (
 // precomputed (weight, z-mask) → bit table. The packed path emits
 // bitstreams identical to the serial Step/Evaluate path.
 
-// maxDecisionOrder bounds the orders whose 2^(n+1)-entry power and
-// decision tables are tabulated — the same practicality bound as
-// Circuit.PowerBands (which NewCircuit already enumerates).
-const maxDecisionOrder = 16
-
 // decisionTable returns the noiseless output-bit table,
 // decisions[weight] a bitset indexed by coefficient z-mask, building
-// it on first use by thresholding the shared power table — the
-// finished table is immutable and lock-free to share across batch
-// workers. Returns nil for orders too large to tabulate.
+// it on first use by thresholding the circuit's shared power table —
+// the finished table is immutable and lock-free to share across batch
+// workers. Returns nil for orders beyond maxTableOrder.
 func (u *Unit) decisionTable() [][]uint64 {
 	n := u.Circuit.P.Order
-	if n > maxDecisionOrder {
+	if n > maxTableOrder {
 		return nil
 	}
 	u.decOnce.Do(func() {
@@ -108,7 +105,7 @@ func (u *Unit) evalPacked(dec [][]uint64, data, coef []*stochastic.SNG, x float6
 // word-parallel datapath and returns the de-randomized estimate of
 // B(x) with the raw output stream. It advances the unit's generators
 // exactly as Evaluate does and emits an identical bitstream; orders
-// beyond maxDecisionOrder fall back to the bit-serial path.
+// beyond maxTableOrder fall back to the bit-serial path.
 func (u *Unit) EvaluateWords(x float64, length int) (float64, *stochastic.Bitstream) {
 	dec := u.decisionTable()
 	if dec == nil {
@@ -116,6 +113,50 @@ func (u *Unit) EvaluateWords(x float64, length int) (float64, *stochastic.Bitstr
 	}
 	out := u.evalPacked(dec, u.dataSNG, u.coefSNG, x, length)
 	return out.Value(), out
+}
+
+// Cycles runs `length` cycles at input x through the word-parallel
+// datapath and calls visit(t, weight, zmask, receivedMW) for every
+// cycle t in order — the decoded per-cycle state that reductions like
+// the transient eye measurement consume without paying per-bit ring
+// evaluations. It advances the unit's generators exactly as
+// Step/Evaluate do (64 cycles of SNG words per draw, received power
+// from the shared table), so interleaving Cycles with the serial paths
+// keeps every stream aligned; orders beyond maxTableOrder fall back to
+// the bit-serial Step walk with identical visits.
+func (u *Unit) Cycles(x float64, length int, visit func(t, weight, zmask int, receivedMW float64)) error {
+	if length <= 0 {
+		return fmt.Errorf("core: stream length %d, need >= 1", length)
+	}
+	if visit == nil {
+		return fmt.Errorf("core: Cycles needs a visitor")
+	}
+	pow := u.powerTable()
+	if pow == nil {
+		for t := 0; t < length; t++ {
+			r := u.Step(x, 0)
+			zmask := 0
+			for i, z := range r.Z {
+				zmask |= z << i
+			}
+			visit(t, r.Weight, zmask, r.ReceivedMW)
+		}
+		return nil
+	}
+	n := u.Circuit.P.Order
+	words := (length + 63) / 64
+	var planes []uint64
+	coefWords := make([]uint64, n+1)
+	var weights, zmasks [64]int
+	for w := 0; w < words; w++ {
+		nbits := min(64, length-w*64)
+		planes = u.drawWord(u.dataSNG, u.coefSNG, x, nbits, planes, coefWords)
+		decodeCycles(planes, coefWords, nbits, &weights, &zmasks)
+		for t := 0; t < nbits; t++ {
+			visit(w*64+t, weights[t], zmasks[t], pow[weights[t]][zmasks[t]])
+		}
+	}
+	return nil
 }
 
 // evalSeeded evaluates one batch input with fresh sources derived

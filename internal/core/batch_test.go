@@ -86,7 +86,7 @@ func TestUnitEvaluateBatchMatchesSeededOracle(t *testing.T) {
 }
 
 // TestUnitEvalSeededFallbackMatchesPacked pins the cache-free serial
-// fallback (used beyond maxDecisionOrder) to the packed path on a
+// fallback (used beyond maxTableOrder) to the packed path on a
 // tabulatable order, so the two implementations cannot drift.
 func TestUnitEvalSeededFallbackMatchesPacked(t *testing.T) {
 	u := paperUnit(t, 17)

@@ -2,13 +2,30 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/optics"
 )
 
+// maxTableOrder bounds the orders whose 2^(n+1)-entry received-power
+// (and decision) tables are tabulated; beyond it every consumer falls
+// back to direct enumeration. 2^(n+1) grows too fast to tabulate past
+// n = 16, which already covers every design in the paper.
+const maxTableOrder = 16
+
 // Circuit is an instantiated optical SC unit: the modulator rings
 // parked on the probe comb, the add-drop filter, and the MZI adder
 // bank (paper Fig. 4a).
+//
+// Analysis results that every consumer re-derives — per-device
+// transmission factors, the (weight, z-mask) received-power table, the
+// power bands, the worst-case margin — are cached lazily inside the
+// circuit and shared by all evaluation paths (SNR/BER/probe sizing,
+// the de-randomizer calibration, the unit's packed engines, the yield
+// sweep). The caches build on first use under sync.Once and are
+// immutable afterwards, so concurrent readers need no locking; callers
+// that hand-perturb the exported device fields (as the yield sweep
+// does) must do so before the first analysis call.
 type Circuit struct {
 	P Params
 	// Modulators[i] is the coefficient modulator ring for channel i,
@@ -18,6 +35,19 @@ type Circuit struct {
 	Filter optics.Ring
 	// Bank is the pump adder: n identical MZIs.
 	Bank *optics.MZIBank
+
+	factOnce sync.Once
+	fact     *circuitFactors
+
+	powOnce sync.Once
+	powers  [][]float64
+
+	bandsOnce sync.Once
+	bands     [4]float64
+
+	deltaOnce sync.Once
+	delta     float64
+	deltaCh   int
 }
 
 // NewCircuit validates p and instantiates the devices.
@@ -112,6 +142,106 @@ func (c *Circuit) ReceivedPowerMW(weight int, z []int) float64 {
 	return sum
 }
 
+// circuitFactors caches the per-device transmission factors every
+// end-to-end transmission is a product of. ProbeTransmission evaluates
+// one ring Lorentzian per (probe, modulator) pair and one filter drop
+// per probe — each a cosine — yet probe i only ever sees two resonance
+// states per modulator (coefficient bit 0/1) and n+1 filter states
+// (one per data weight). Tabulating those (n+1)²·3 factors once turns
+// every later transmission into pure table products, in the exact
+// multiplication order of the direct path, so cached consumers return
+// bit-identical values.
+type circuitFactors struct {
+	// thru[i][w] holds ring w's through factor at probe λ_i for
+	// coefficient bit 0 and 1.
+	thru [][][2]float64
+	// drop[i][weight] is the filter drop factor at probe λ_i with the
+	// filter shifted for the given data weight.
+	drop [][]float64
+}
+
+// factors returns the lazily built per-device factor cache.
+func (c *Circuit) factors() *circuitFactors {
+	c.factOnce.Do(func() {
+		n1 := len(c.Modulators)
+		f := &circuitFactors{
+			thru: make([][][2]float64, n1),
+			drop: make([][]float64, n1),
+		}
+		shift := make([]float64, n1)
+		for weight := range shift {
+			shift[weight] = c.FilterShiftNM(weight)
+		}
+		for i := 0; i < n1; i++ {
+			lam := c.P.Lambda(i)
+			f.thru[i] = make([][2]float64, n1)
+			for w, ring := range c.Modulators {
+				f.thru[i][w][0] = ring.Through(lam, c.modResonance(w, 0))
+				f.thru[i][w][1] = ring.Through(lam, c.modResonance(w, 1))
+			}
+			f.drop[i] = make([]float64, n1)
+			for weight := range f.drop[i] {
+				f.drop[i][weight] = c.Filter.Drop(lam, c.P.LambdaRefNM()-shift[weight])
+			}
+		}
+		c.fact = f
+	})
+	return c.fact
+}
+
+// transmissionByMask is ProbeTransmission for probe i with the
+// coefficient bits given as a mask and the filter state given by the
+// data weight, resolved from the factor cache. The factor products run
+// in the same order as the direct path, so the result is bit-identical
+// to ProbeTransmission(i, bits(zmask), FilterShiftNM(weight)).
+func (c *Circuit) transmissionByMask(f *circuitFactors, i, weight, zmask int) float64 {
+	t := 1.0
+	for w := range f.thru[i] {
+		t *= f.thru[i][w][zmask>>w&1]
+	}
+	return t * f.drop[i][weight]
+}
+
+// receivedByMask is ReceivedPowerMW resolved from the factor cache,
+// summing probes in the same order as the direct path.
+func (c *Circuit) receivedByMask(f *circuitFactors, weight, zmask int) float64 {
+	sum := 0.0
+	for i := range f.thru {
+		sum += c.P.ProbePowerMW * c.transmissionByMask(f, i, weight, zmask)
+	}
+	return sum
+}
+
+// PowerTable returns the fully-tabulated received power,
+// powers[weight][zmask] in mW, building it lazily from the factor
+// cache: the optical state space has only (n+1)·2^(n+1) points, so one
+// enumeration turns per-cycle ring evaluations — serial Step lookups,
+// packed threshold decisions, band scans and margin searches alike —
+// into table reads. Entries are bit-identical to ReceivedPowerMW. The
+// finished table is immutable and shared lock-free by every consumer
+// (the unit's packed engines, the de-randomizer calibration, the yield
+// sweep). Returns nil for orders beyond maxTableOrder.
+func (c *Circuit) PowerTable() [][]float64 {
+	if c.P.Order > maxTableOrder {
+		return nil
+	}
+	c.powOnce.Do(func() {
+		f := c.factors()
+		n1 := len(c.Modulators)
+		masks := 1 << n1
+		rows := make([][]float64, n1)
+		for w := range rows {
+			row := make([]float64, masks)
+			for zmask := 0; zmask < masks; zmask++ {
+				row[zmask] = c.receivedByMask(f, w, zmask)
+			}
+			rows[w] = row
+		}
+		c.powers = rows
+	})
+	return c.powers
+}
+
 // ChannelTotals returns the per-channel total transmissions for a
 // given data weight and coefficient bits — the numbers the paper
 // quotes for Fig. 5(a)/(b) (e.g. 0.091 / 0.004 / 0.0002).
@@ -129,8 +259,48 @@ func (c *Circuit) ChannelTotals(weight int, z []int) []float64 {
 // coefficient's value): the '0' band [minZero, maxZero] and the '1'
 // band [minOne, maxOne]. These bands are the optical de-randomizer's
 // decision levels (Fig. 5c). Exhaustive over 2^(n+1) coefficient
-// patterns; practical for n ≤ 16.
+// patterns; practical for n ≤ 16. The scan runs once over the shared
+// power table and is cached — Decider, EyeOpeningMW and the yield
+// sweep all read the same result.
 func (c *Circuit) PowerBands() (minZero, maxZero, minOne, maxOne float64) {
+	c.bandsOnce.Do(func() {
+		pow := c.PowerTable()
+		if pow == nil {
+			c.bands[0], c.bands[1], c.bands[2], c.bands[3] = c.powerBandsDirect()
+			return
+		}
+		n := c.P.Order
+		first0, first1 := true, true
+		for pattern := 0; pattern < 1<<(n+1); pattern++ {
+			for weight := 0; weight <= n; weight++ {
+				p := pow[weight][pattern]
+				if pattern>>c.SelectedChannel(weight)&1 == 0 {
+					if first0 || p < c.bands[0] {
+						c.bands[0] = p
+					}
+					if first0 || p > c.bands[1] {
+						c.bands[1] = p
+					}
+					first0 = false
+				} else {
+					if first1 || p < c.bands[2] {
+						c.bands[2] = p
+					}
+					if first1 || p > c.bands[3] {
+						c.bands[3] = p
+					}
+					first1 = false
+				}
+			}
+		}
+	})
+	return c.bands[0], c.bands[1], c.bands[2], c.bands[3]
+}
+
+// powerBandsDirect is the cache-free band scan — the retained oracle
+// for the table-backed PowerBands and its fallback beyond
+// maxTableOrder.
+func (c *Circuit) powerBandsDirect() (minZero, maxZero, minOne, maxOne float64) {
 	n := c.P.Order
 	first0, first1 := true, true
 	z := make([]int, n+1)

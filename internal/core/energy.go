@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/numeric"
 	"repro/internal/optics"
+	"repro/internal/parallel"
 )
 
 // EnergyBreakdown is the per-computed-bit laser energy of a design,
@@ -103,18 +104,26 @@ func ParamsEnergy(p Params) EnergyBreakdown {
 
 // Sweep evaluates the breakdown across a spacing range, skipping
 // infeasible points (closed eye). It returns one row per feasible
-// spacing — the data series of Fig. 7(a).
+// spacing — the data series of Fig. 7(a). Every point is an
+// independent MRR-first solve, so the grid fans out over the
+// internal/parallel worker pool and is filtered back in index order —
+// identical results at any GOMAXPROCS.
 func (m EnergyModel) Sweep(loNM, hiNM float64, points int) []EnergyBreakdown {
 	if points < 2 {
 		points = 2
 	}
+	ws := numeric.Linspace(loNM, hiNM, points)
+	rows := make([]EnergyBreakdown, len(ws))
+	feasible := make([]bool, len(ws))
+	parallel.For(len(ws), func(i int) {
+		b, err := m.Breakdown(ws[i])
+		rows[i], feasible[i] = b, err == nil
+	})
 	out := make([]EnergyBreakdown, 0, points)
-	for _, w := range numeric.Linspace(loNM, hiNM, points) {
-		b, err := m.Breakdown(w)
-		if err != nil {
-			continue
+	for i, ok := range feasible {
+		if ok {
+			out = append(out, rows[i])
 		}
-		out = append(out, b)
 	}
 	return out
 }

@@ -22,33 +22,12 @@ import (
 // noise filler: one 64-bit output word per fill.
 const noiseBlock = 64
 
-// powerTable returns the fully-tabulated received power,
-// powers[weight][zmask] in mW, building it on first use. Like
-// decisionTable it enumerates the circuit directly so the finished
-// table is immutable and lock-free to share across batch workers.
-// Returns nil for orders too large to tabulate.
+// powerTable returns the circuit's shared received-power table (see
+// Circuit.PowerTable) — one tabulation serves the serial Step lookups,
+// both packed engines and every analysis consumer. Returns nil for
+// orders too large to tabulate.
 func (u *Unit) powerTable() [][]float64 {
-	n := u.Circuit.P.Order
-	if n > maxDecisionOrder {
-		return nil
-	}
-	u.powOnce.Do(func() {
-		masks := 1 << (n + 1)
-		z := make([]int, n+1)
-		rows := make([][]float64, n+1)
-		for w := range rows {
-			row := make([]float64, masks)
-			for zmask := 0; zmask < masks; zmask++ {
-				for b := range z {
-					z[b] = zmask >> b & 1
-				}
-				row[zmask] = u.Circuit.ReceivedPowerMW(w, z)
-			}
-			rows[w] = row
-		}
-		u.powers = rows
-	})
-	return u.powers
+	return u.Circuit.PowerTable()
 }
 
 // evalPackedNoisy runs `length` noisy cycles of the word-parallel
@@ -85,7 +64,7 @@ func (u *Unit) evalPackedNoisy(pow [][]float64, data, coef []*stochastic.SNG, x 
 // noise sample (in mW) per slot, consuming its source in cycle order;
 // each sample is added to the received power before thresholding,
 // exactly as Step's noiseMW argument is. It advances the unit's
-// generators as Evaluate does; orders beyond maxDecisionOrder fall
+// generators as Evaluate does; orders beyond maxTableOrder fall
 // back to the bit-serial path with the same block noise consumption,
 // so the two paths emit identical bitstreams from equal sources.
 func (u *Unit) EvaluateNoisy(x float64, length int, fill func(noiseMW []float64)) (*stochastic.Bitstream, error) {
@@ -132,7 +111,7 @@ func (u *Unit) EvaluateNoisySeeded(seed uint64, x float64, length int, fill func
 }
 
 // walkSeeded is the cache-free bit-serial fallback shared by the
-// batch evaluators for orders beyond maxDecisionOrder: enumerate the
+// batch evaluators for orders beyond maxTableOrder: enumerate the
 // circuit per cycle and threshold. A nil fill means a noiseless
 // channel (no noise samples are drawn).
 func (u *Unit) walkSeeded(data, coef []*stochastic.SNG, x float64, length int, fill func(noiseMW []float64)) float64 {

@@ -49,7 +49,7 @@ func TestUnitEvaluateNoisyZeroNoiseMatchesEvaluate(t *testing.T) {
 }
 
 // TestUnitEvaluateNoisySeededFallbackMatchesPacked pins the
-// cache-free serial fallback (used beyond maxDecisionOrder) to the
+// cache-free serial fallback (used beyond maxTableOrder) to the
 // packed noisy path on a tabulatable order, so the two
 // implementations cannot drift.
 func TestUnitEvaluateNoisySeededFallbackMatchesPacked(t *testing.T) {
@@ -67,7 +67,7 @@ func TestUnitEvaluateNoisySeededFallbackMatchesPacked(t *testing.T) {
 
 		// Re-run through the serial fallback by hiding the table.
 		fresh := paperUnit(t, 17)
-		fresh.powOnce.Do(func() {}) // leave powers nil
+		fresh.Circuit.powOnce.Do(func() {}) // leave powers nil
 		serial, err := fresh.EvaluateNoisySeeded(seed, x, 257, splitmixFill(seed+1, sigma))
 		if err != nil {
 			t.Fatal(err)
@@ -83,7 +83,7 @@ func TestUnitEvaluateNoisySeededFallbackMatchesPacked(t *testing.T) {
 func TestUnitEvaluateNoisyFallbackMatchesPacked(t *testing.T) {
 	packedU := paperUnit(t, 23)
 	serialU := paperUnit(t, 23)
-	serialU.powOnce.Do(func() {}) // hide the table
+	serialU.Circuit.powOnce.Do(func() {}) // hide the table
 	sigma := packedU.ThresholdMW()
 	bp, err := packedU.EvaluateNoisy(0.6, 193, splitmixFill(5, sigma))
 	if err != nil {

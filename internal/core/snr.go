@@ -11,8 +11,25 @@ import (
 // channel i: the transmission of probe i sent as '1' (all other
 // coefficients '0') minus the summed crosstalk of every other probe w
 // sent as '1' (with z_i = 0), all evaluated with the filter tuned to
-// select channel i.
+// select channel i. The one-hot transmissions resolve from the shared
+// per-device factor cache, bit-identical to the direct enumeration
+// (channelDeltaDirect).
 func (c *Circuit) ChannelDelta(i int) float64 {
+	f := c.factors()
+	sig := c.transmissionByMask(f, i, i, 1<<i)
+	xtalk := 0.0
+	for w := 0; w <= c.P.Order; w++ {
+		if w == i {
+			continue
+		}
+		xtalk += c.transmissionByMask(f, w, i, 1<<w)
+	}
+	return sig - xtalk
+}
+
+// channelDeltaDirect is the cache-free Eq. (8) bracket — the retained
+// oracle for the factor-cached ChannelDelta.
+func (c *Circuit) channelDeltaDirect(i int) float64 {
 	n := c.P.Order
 	d := c.FilterShiftNM(i) // weight i selects channel i
 	z := make([]int, n+1)
@@ -34,15 +51,19 @@ func (c *Circuit) ChannelDelta(i int) float64 {
 }
 
 // WorstCaseDelta returns min_i ChannelDelta(i) and the index
-// achieving it — the worst-case transmission margin of Eq. (8).
+// achieving it — the worst-case transmission margin of Eq. (8). The
+// scan is cached: SNR, BER, probe sizing and the transient worst-case
+// patterns all share one computation per circuit.
 func (c *Circuit) WorstCaseDelta() (delta float64, channel int) {
-	delta = math.Inf(1)
-	for i := 0; i <= c.P.Order; i++ {
-		if d := c.ChannelDelta(i); d < delta {
-			delta, channel = d, i
+	c.deltaOnce.Do(func() {
+		c.delta = math.Inf(1)
+		for i := 0; i <= c.P.Order; i++ {
+			if d := c.ChannelDelta(i); d < c.delta {
+				c.delta, c.deltaCh = d, i
+			}
 		}
-	}
-	return delta, channel
+	})
+	return c.delta, c.deltaCh
 }
 
 // SNR evaluates Eq. (8): (R/i_n) · OPprobe · min_i ChannelDelta(i),
@@ -80,6 +101,37 @@ func (c *Circuit) MinProbePowerMW(targetBER float64) float64 {
 // filter state, normalized by the probe power. It lower-bounds
 // ChannelDelta and is the margin the end-to-end unit actually sees.
 func (c *Circuit) WorstCaseDeltaOverZ() float64 {
+	pow := c.PowerTable()
+	if pow == nil {
+		return c.worstCaseDeltaOverZDirect()
+	}
+	n := c.P.Order
+	worst := math.Inf(1)
+	for weight := 0; weight <= n; weight++ {
+		sel := c.SelectedChannel(weight)
+		minOne := math.Inf(1)
+		maxZero := math.Inf(-1)
+		for pattern := 0; pattern < 1<<(n+1); pattern++ {
+			p := pow[weight][pattern] / c.P.ProbePowerMW
+			if pattern>>sel&1 == 1 {
+				if p < minOne {
+					minOne = p
+				}
+			} else if p > maxZero {
+				maxZero = p
+			}
+		}
+		if d := minOne - maxZero; d < worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// worstCaseDeltaOverZDirect is the cache-free exhaustive margin — the
+// retained oracle for the table-backed WorstCaseDeltaOverZ and its
+// fallback beyond maxTableOrder.
+func (c *Circuit) worstCaseDeltaOverZDirect() float64 {
 	n := c.P.Order
 	worst := math.Inf(1)
 	z := make([]int, n+1)

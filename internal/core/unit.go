@@ -28,20 +28,11 @@ type Unit struct {
 
 	// decisions is the fully-tabulated noiseless output bit,
 	// decisions[weight] a bitset over z-masks, built once on first
-	// word-parallel evaluation (see decisionTable). Immutable after
-	// decOnce fires, so the batch workers share it without locking.
+	// word-parallel evaluation (see decisionTable) by thresholding the
+	// circuit's shared received-power table. Immutable after decOnce
+	// fires, so the batch workers share it without locking.
 	decOnce   sync.Once
 	decisions [][]uint64
-
-	// powers is the received power pow[weight][zmask] fully
-	// tabulated (see powerTable): the optical state space has only
-	// (n+1)·2^(n+1) points, so one enumeration turns per-bit ring
-	// evaluations — serial Step lookups and word-parallel noisy
-	// threshold decisions alike — into table reads. Immutable after
-	// powOnce fires, so every evaluation path shares it without
-	// locking.
-	powOnce sync.Once
-	powers  [][]float64
 }
 
 // NewUnit builds a unit for the polynomial on the given circuit. The

@@ -48,33 +48,6 @@ type YieldResult struct {
 	MeanEyeMW float64
 }
 
-// gaussian is a minimal Box–Muller sampler over SplitMix64 (kept
-// local: importing internal/transient here would cycle).
-type gaussian struct {
-	src   *stochastic.SplitMix64
-	spare float64
-	has   bool
-}
-
-func (g *gaussian) next() float64 {
-	if g.has {
-		g.has = false
-		return g.spare
-	}
-	var u float64
-	for {
-		u = g.src.Next()
-		if u > 0 {
-			break
-		}
-	}
-	v := g.src.Next()
-	r := math.Sqrt(-2 * math.Log(u))
-	g.spare = r * math.Sin(2*math.Pi*v)
-	g.has = true
-	return r * math.Cos(2*math.Pi*v)
-}
-
 // dieOutcome is one fabricated die's measurement. A structural die is
 // one so far off it violates the circuit's structural constraints — a
 // failed die with the worst-case BER and no eye.
@@ -85,13 +58,13 @@ type dieOutcome struct {
 
 // fabricateDie perturbs one virtual die of p with variation v, drawing
 // every Gaussian from g in a fixed order, and measures it.
-func fabricateDie(p Params, v VariationSpec, g *gaussian) dieOutcome {
+func fabricateDie(p Params, v VariationSpec, g *stochastic.Gaussian) dieOutcome {
 	die := p
 	// MZI device variation (clamped to physical ranges).
-	die.MZI.ILdB = math.Max(0, die.MZI.ILdB+g.next()*v.MZIILSigmaDB)
-	die.MZI.ERdB = math.Max(0.1, die.MZI.ERdB+g.next()*v.MZIERSigmaDB)
+	die.MZI.ILdB = math.Max(0, die.MZI.ILdB+g.Next()*v.MZIILSigmaDB)
+	die.MZI.ERdB = math.Max(0.1, die.MZI.ERdB+g.Next()*v.MZIERSigmaDB)
 	// Filter resonance variation enters through the offset.
-	die.FilterOffsetNM = math.Max(0, die.FilterOffsetNM+g.next()*v.RingResonanceSigmaNM)
+	die.FilterOffsetNM = math.Max(0, die.FilterOffsetNM+g.Next()*v.RingResonanceSigmaNM)
 
 	c, err := NewCircuit(die)
 	if err != nil {
@@ -99,12 +72,12 @@ func fabricateDie(p Params, v VariationSpec, g *gaussian) dieOutcome {
 	}
 	// Per-ring perturbations on the instantiated devices.
 	for i := range c.Modulators {
-		c.Modulators[i].ResonanceNM += g.next() * v.RingResonanceSigmaNM
-		c.Modulators[i].SelfCoupling1 = clamp01open(c.Modulators[i].SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
-		c.Modulators[i].SelfCoupling2 = clamp01open(c.Modulators[i].SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
+		c.Modulators[i].ResonanceNM += g.Next() * v.RingResonanceSigmaNM
+		c.Modulators[i].SelfCoupling1 = clamp01open(c.Modulators[i].SelfCoupling1 * (1 + g.Next()*v.CouplingSigma))
+		c.Modulators[i].SelfCoupling2 = clamp01open(c.Modulators[i].SelfCoupling2 * (1 + g.Next()*v.CouplingSigma))
 	}
-	c.Filter.SelfCoupling1 = clamp01open(c.Filter.SelfCoupling1 * (1 + g.next()*v.CouplingSigma))
-	c.Filter.SelfCoupling2 = clamp01open(c.Filter.SelfCoupling2 * (1 + g.next()*v.CouplingSigma))
+	c.Filter.SelfCoupling1 = clamp01open(c.Filter.SelfCoupling1 * (1 + g.Next()*v.CouplingSigma))
+	c.Filter.SelfCoupling2 = clamp01open(c.Filter.SelfCoupling2 * (1 + g.Next()*v.CouplingSigma))
 
 	return dieOutcome{ber: c.BER(), eye: c.EyeOpeningMW()}
 }
@@ -129,7 +102,7 @@ func AnalyzeYield(p Params, v VariationSpec) (YieldResult, error) {
 	}
 	dies := make([]dieOutcome, v.Samples)
 	parallel.For(v.Samples, func(s int) {
-		g := &gaussian{src: stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s))}
+		g := stochastic.NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s)))
 		dies[s] = fabricateDie(p, v, g)
 	})
 

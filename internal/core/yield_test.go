@@ -100,7 +100,7 @@ func TestYieldMatchesSerialOracle(t *testing.T) {
 	want := YieldResult{Samples: v.Samples}
 	sumBER, sumEye := 0.0, 0.0
 	for s := 0; s < v.Samples; s++ {
-		g := &gaussian{src: stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s))}
+		g := stochastic.NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s)))
 		o := fabricateDie(p, v, g)
 		sumBER += o.ber
 		if o.ber > want.WorstBER {

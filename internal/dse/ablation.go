@@ -25,14 +25,15 @@ type RingSensitivityRow struct {
 	Feasible     bool
 }
 
-// RingSensitivity sweeps the filter-linewidth scale. Scales are
-// realized by adjusting the symmetric coupling r so the analytic
-// FWHM hits the target.
+// RingSensitivity sweeps the filter-linewidth scale over the worker
+// pool (one energy-optimum search per scale). Scales are realized by
+// adjusting the symmetric coupling r so the analytic FWHM hits the
+// target.
 func RingSensitivity(scales []float64) []RingSensitivityRow {
 	base := core.DenseFilterShape()
 	baseFWHM := base.At(optics.CBandCenterNM).FWHMNM()
-	out := make([]RingSensitivityRow, 0, len(scales))
-	for _, s := range scales {
+	return Sweep(len(scales), func(i int) RingSensitivityRow {
+		s := scales[i]
 		row := RingSensitivityRow{FWHMScale: s}
 		shape, err := filterShapeWithFWHM(base, baseFWHM*s)
 		if err == nil {
@@ -44,9 +45,8 @@ func RingSensitivity(scales []float64) []RingSensitivityRow {
 				row.Feasible = true
 			}
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // filterShapeWithFWHM solves the symmetric coupling giving the target

@@ -52,22 +52,27 @@ func StreamLengthSweep(lengths []int, points int, seed uint64) ([]StreamSweepRow
 		}
 		return math.Sqrt(s / float64(len(got)))
 	}
-	out := make([]StreamSweepRow, 0, len(lengths))
 	for _, l := range lengths {
 		if l < 1 {
 			return nil, fmt.Errorf("dse: stream length %d, need >= 1", l)
 		}
+	}
+	// Lengths fan out over the worker pool on top of the per-input
+	// fan-out inside the batch evaluators; every stream derives its
+	// seed from (seed, input index) alone, so the table is identical
+	// at any GOMAXPROCS.
+	return SweepErr(len(lengths), func(i int) (StreamSweepRow, error) {
+		l := lengths[i]
 		ele, err := stochastic.EvaluateBatch(poly, xs, l, seed)
 		if err != nil {
-			return nil, err
+			return StreamSweepRow{}, err
 		}
-		out = append(out, StreamSweepRow{
+		return StreamSweepRow{
 			StreamLen:      l,
 			RMSEElectronic: rmse(ele),
 			RMSEOptical:    rmse(unit.EvaluateBatch(xs, l)),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderStreamLengthSweep writes the sweep table.

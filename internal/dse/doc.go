@@ -17,4 +17,22 @@
 // The functions return plain structs so tests can assert on the data,
 // and each has a Render* companion writing the human-readable table
 // that cmd/oscbench prints.
+//
+// # Parallel sweep engine
+//
+// Every study above runs on the generic sweep runners in sweep.go —
+// Sweep, SweepErr, SweepSeeded(Err) and Grid — which fan independent
+// points over the internal/parallel worker pool and return results in
+// index order. Randomness, where a study needs it, derives from the
+// base seed and the point index alone (stochastic.DeriveSeed), so
+// every sweep is bit-identical at any GOMAXPROCS and under any
+// scheduling; nested use is fine (a point function may itself call the
+// word-parallel batch evaluators, as NoiseStudy and StreamLengthSweep
+// do). Quickstart:
+//
+//	pts := dse.Fig6A(12, 12)        // 144 MZI-first solves over the pool
+//	rows := dse.Sweep(n, point)     // custom study: point(i) -> row, index-ordered
+//	rows, err := dse.SweepSeededErr(n, seed, func(i int, s uint64) (Row, error) {
+//	    ...                         // Monte-Carlo point with its own derived seed
+//	})
 package dse

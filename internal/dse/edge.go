@@ -23,29 +23,31 @@ type EdgeStudyRow struct {
 // quality-vs-latency trade-off that frames the paper's application
 // section: PSNR grows ~3 dB per stream-length doubling until
 // quantization saturates.
+// Stream lengths fan out over the worker pool (SweepErr); each
+// length's image engines keep their own per-pixel derived seeds, so
+// the table is identical at any GOMAXPROCS.
 func EdgeStudy(lengths []int, seed uint64) ([]EdgeStudyRow, error) {
 	edgeSrc := img.Checkerboard(64, 64, 8, 30, 220)
 	edgeExact := img.RobertsCrossExact(edgeSrc)
 	gammaSrc := img.Gradient(128, 4)
 	gammaExact := img.GammaExact(gammaSrc, 0.45)
-	rows := make([]EdgeStudyRow, 0, len(lengths))
-	for _, l := range lengths {
+	return SweepErr(len(lengths), func(i int) (EdgeStudyRow, error) {
+		l := lengths[i]
 		edge, err := img.RobertsCrossSC(edgeSrc, l, seed)
 		if err != nil {
-			return nil, err
+			return EdgeStudyRow{}, err
 		}
 		gamma, err := img.GammaReSC(gammaSrc, 0.45, 6, l, seed)
 		if err != nil {
-			return nil, err
+			return EdgeStudyRow{}, err
 		}
-		rows = append(rows, EdgeStudyRow{
+		return EdgeStudyRow{
 			StreamLen: l,
 			EdgePSNR:  img.PSNR(edgeExact, edge),
 			EdgeMAE:   img.MeanAbsoluteError(edgeExact, edge),
 			GammaPSNR: img.PSNR(gammaExact, gamma),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderEdgeStudy writes the study table.

@@ -20,7 +20,11 @@ type Fig6APoint struct {
 }
 
 // Fig6A sweeps the IL × ER grid of the paper's Fig. 6(a)
-// (IL 3–7.4 dB, ER 4–7.6 dB).
+// (IL 3–7.4 dB, ER 4–7.6 dB). Each cell is a full MZI-first design
+// solve; the grid fans out over the worker pool (Grid) and returns in
+// row-major (IL-major) order, identical at any GOMAXPROCS. Fewer than
+// 2 points per axis are clamped to 2 (cmd/oscbench rejects such grids
+// up front instead).
 func Fig6A(ilPoints, erPoints int) []Fig6APoint {
 	if ilPoints < 2 {
 		ilPoints = 2
@@ -28,27 +32,23 @@ func Fig6A(ilPoints, erPoints int) []Fig6APoint {
 	if erPoints < 2 {
 		erPoints = 2
 	}
-	var out []Fig6APoint
-	for i := 0; i < ilPoints; i++ {
+	return Grid(ilPoints, erPoints, func(i, j int) Fig6APoint {
 		il := 3.0 + (7.4-3.0)*float64(i)/float64(ilPoints-1)
-		for j := 0; j < erPoints; j++ {
-			er := 4.0 + (7.6-4.0)*float64(j)/float64(erPoints-1)
-			pt := Fig6APoint{ILdB: il, ERdB: er}
-			p, err := core.MZIFirst(core.MZIFirstSpec{
-				Order:       2,
-				MZI:         optics.MZI{ILdB: il, ERdB: er},
-				PumpPowerMW: 600,
-				TargetBER:   1e-6,
-			})
-			if err == nil {
-				pt.ProbeMW = p.ProbePowerMW
-				pt.WLSpacingNM = p.WLSpacingNM
-				pt.Feasible = true
-			}
-			out = append(out, pt)
+		er := 4.0 + (7.6-4.0)*float64(j)/float64(erPoints-1)
+		pt := Fig6APoint{ILdB: il, ERdB: er}
+		p, err := core.MZIFirst(core.MZIFirstSpec{
+			Order:       2,
+			MZI:         optics.MZI{ILdB: il, ERdB: er},
+			PumpPowerMW: 600,
+			TargetBER:   1e-6,
+		})
+		if err == nil {
+			pt.ProbeMW = p.ProbePowerMW
+			pt.WLSpacingNM = p.WLSpacingNM
+			pt.Feasible = true
 		}
-	}
-	return out
+		return pt
+	})
 }
 
 // RenderFig6A writes the grid with IL rows and ER columns.
@@ -116,8 +116,8 @@ type Fig6BPoint struct {
 // {1e-2, 1e-4, 1e-6} and observes a 50 % probe-power reduction at
 // 1e-2 relative to 1e-6.
 func Fig6B(targets []float64) ([]Fig6BPoint, error) {
-	out := make([]Fig6BPoint, 0, len(targets))
-	for _, ber := range targets {
+	return SweepErr(len(targets), func(i int) (Fig6BPoint, error) {
+		ber := targets[i]
 		p, err := core.MZIFirst(core.MZIFirstSpec{
 			Order:       2,
 			MZI:         optics.MZI{ILdB: 6.5, ERdB: 7.5},
@@ -125,11 +125,10 @@ func Fig6B(targets []float64) ([]Fig6BPoint, error) {
 			TargetBER:   ber,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("dse: Fig6B at BER %g: %w", ber, err)
+			return Fig6BPoint{}, fmt.Errorf("dse: Fig6B at BER %g: %w", ber, err)
 		}
-		out = append(out, Fig6BPoint{BER: ber, ProbeMW: p.ProbePowerMW})
-	}
-	return out, nil
+		return Fig6BPoint{BER: ber, ProbeMW: p.ProbePowerMW}, nil
+	})
 }
 
 // RenderFig6B writes the BER table with the power-reduction ratio.
@@ -169,12 +168,11 @@ type Fig6CPoint struct {
 // Fig6C sizes the four library devices at 0.6 W pump and 1e-6 BER.
 func Fig6C() []Fig6CPoint {
 	lib := core.DeviceLibrary()
-	out := make([]Fig6CPoint, 0, len(lib))
-	for _, d := range lib {
-		pt := Fig6CPoint{Device: d}
+	return Sweep(len(lib), func(i int) Fig6CPoint {
+		pt := Fig6CPoint{Device: lib[i]}
 		p, err := core.MZIFirst(core.MZIFirstSpec{
 			Order:       2,
-			MZI:         d.Dev,
+			MZI:         lib[i].Dev,
 			PumpPowerMW: 600,
 			TargetBER:   1e-6,
 		})
@@ -183,9 +181,8 @@ func Fig6C() []Fig6CPoint {
 		} else {
 			pt.ProbeMW = p.ProbePowerMW
 		}
-		out = append(out, pt)
-	}
-	return out
+		return pt
+	})
 }
 
 // RenderFig6C writes the device-comparison table.

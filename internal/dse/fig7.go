@@ -16,20 +16,22 @@ type Fig7ASeries struct {
 }
 
 // Fig7A sweeps the wavelength spacing over [0.1, 0.3] nm for each
-// order (the paper plots n = 2, 4, 6).
+// order (the paper plots n = 2, 4, 6). Orders fan out over the worker
+// pool, and each order's spacing sweep is itself parallel
+// (core.EnergyModel.Sweep): every point re-sizes the design with
+// MRR-first, so the grid is a pile of independent solves.
 func Fig7A(orders []int, points int) ([]Fig7ASeries, error) {
-	out := make([]Fig7ASeries, 0, len(orders))
-	for _, n := range orders {
+	return SweepErr(len(orders), func(i int) (Fig7ASeries, error) {
+		n := orders[i]
 		m := core.NewEnergyModel(n)
 		s := Fig7ASeries{Order: n, Points: m.Sweep(0.1, 0.3, points)}
 		opt, err := m.OptimalSpacing(0.1, 0.3)
 		if err != nil {
-			return nil, fmt.Errorf("dse: Fig7A order %d: %w", n, err)
+			return Fig7ASeries{}, fmt.Errorf("dse: Fig7A order %d: %w", n, err)
 		}
 		s.Optimum = opt
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	})
 }
 
 // RenderFig7A writes the per-order sweep tables and the optimum line.
@@ -73,25 +75,24 @@ type Fig7BRow struct {
 // Fig7B evaluates the order sweep {2, 4, 8, 12, 16} with the wide-FSR
 // ring preset (the 1 nm × order-16 comb spans 16.1 nm).
 func Fig7B(orders []int) ([]Fig7BRow, error) {
-	out := make([]Fig7BRow, 0, len(orders))
-	for _, n := range orders {
+	return SweepErr(len(orders), func(i int) (Fig7BRow, error) {
+		n := orders[i]
 		m := core.NewWideCombEnergyModel(n)
 		fixed, err := m.Breakdown(1.0)
 		if err != nil {
-			return nil, fmt.Errorf("dse: Fig7B order %d at 1 nm: %w", n, err)
+			return Fig7BRow{}, fmt.Errorf("dse: Fig7B order %d at 1 nm: %w", n, err)
 		}
 		opt, err := m.OptimalSpacing(0.1, 0.3)
 		if err != nil {
-			return nil, fmt.Errorf("dse: Fig7B order %d optimum: %w", n, err)
+			return Fig7BRow{}, fmt.Errorf("dse: Fig7B order %d optimum: %w", n, err)
 		}
-		out = append(out, Fig7BRow{
+		return Fig7BRow{
 			Order:     n,
 			Fixed1nm:  fixed,
 			Optimal:   opt,
 			SavingPct: 100 * (1 - opt.TotalPJ()/fixed.TotalPJ()),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig7B writes the order table.

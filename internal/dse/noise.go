@@ -82,10 +82,13 @@ type NoiseRow struct {
 }
 
 // NoiseStudy runs the Monte-Carlo accuracy/BER sweep on the paper's
-// order-2 reference polynomial. For each probe power and sigma scale
-// it rebuilds the circuit, measures the worst-case BER in one batched
-// run, then estimates the end-to-end RMSE at every stream length from
-// Trials independent noisy evaluations fanned over the worker pool.
+// order-2 reference polynomial. The (probe, sigma) combinations fan
+// out over the worker pool (SweepSeededErr, one derived seed per
+// combination): each rebuilds its circuit, measures the worst-case BER
+// in one batched run, then estimates the end-to-end RMSE at every
+// stream length from Trials independent noisy evaluations — themselves
+// fanned over the same pool. Results are row-ordered by (probe, sigma,
+// length) and identical at any GOMAXPROCS.
 func NoiseStudy(spec NoiseStudySpec) ([]NoiseRow, error) {
 	if len(spec.Lengths) == 0 {
 		return nil, fmt.Errorf("dse: noise study needs stream lengths")
@@ -115,55 +118,70 @@ func NoiseStudy(spec NoiseStudySpec) ([]NoiseRow, error) {
 		xs[i] = spec.X
 	}
 
-	out := make([]NoiseRow, 0, len(spec.ProbeMW)*len(scales)*len(spec.Lengths))
-	combo := 0
 	for _, probe := range spec.ProbeMW {
 		if probe <= 0 {
 			return nil, fmt.Errorf("dse: probe power %g not positive", probe)
 		}
-		for _, scale := range scales {
-			if scale <= 0 {
-				return nil, fmt.Errorf("dse: sigma scale %g not positive", scale)
-			}
-			p := core.PaperParams()
-			p.ProbePowerMW = probe
-			c, err := core.NewCircuit(p)
-			if err != nil {
-				return nil, err
-			}
-			u, err := core.NewUnit(c, poly, stochastic.DeriveSeed(spec.Seed, combo))
-			if err != nil {
-				return nil, err
-			}
-			sim := transient.NewSimulator(u, stochastic.DeriveSeed(spec.Seed, combo)+1)
-			sim.SigmaMW *= scale
-			measured, err := sim.MeasureWorstCaseBER(berBits)
-			if err != nil {
-				return nil, err
-			}
-			analytic := sim.AnalyticWorstCaseBER()
-			for _, l := range spec.Lengths {
-				vals, err := sim.EvaluateBatch(xs, l)
-				if err != nil {
-					return nil, err
-				}
-				sum := 0.0
-				for _, v := range vals {
-					d := v - want
-					sum += d * d
-				}
-				out = append(out, NoiseRow{
-					ProbeMW:     probe,
-					SigmaScale:  scale,
-					SigmaMW:     sim.SigmaMW,
-					StreamLen:   l,
-					RMSE:        math.Sqrt(sum / float64(trials)),
-					MeasuredBER: measured,
-					AnalyticBER: analytic,
-				})
-			}
-			combo++
+	}
+	for _, scale := range scales {
+		if scale <= 0 {
+			return nil, fmt.Errorf("dse: sigma scale %g not positive", scale)
 		}
+	}
+
+	// One sweep point per (probe, scale) combination, fanned over the
+	// worker pool with a per-combo derived seed; each point returns its
+	// stream-length rows, flattened back in combo order below.
+	combos := len(spec.ProbeMW) * len(scales)
+	groups, err := SweepSeededErr(combos, spec.Seed, func(combo int, comboSeed uint64) ([]NoiseRow, error) {
+		probe := spec.ProbeMW[combo/len(scales)]
+		scale := scales[combo%len(scales)]
+		p := core.PaperParams()
+		p.ProbePowerMW = probe
+		c, err := core.NewCircuit(p)
+		if err != nil {
+			return nil, err
+		}
+		u, err := core.NewUnit(c, poly, comboSeed)
+		if err != nil {
+			return nil, err
+		}
+		sim := transient.NewSimulator(u, comboSeed+1)
+		sim.SigmaMW *= scale
+		measured, err := sim.MeasureWorstCaseBER(berBits)
+		if err != nil {
+			return nil, err
+		}
+		analytic := sim.AnalyticWorstCaseBER()
+		rows := make([]NoiseRow, 0, len(spec.Lengths))
+		for _, l := range spec.Lengths {
+			vals, err := sim.EvaluateBatch(xs, l)
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			for _, v := range vals {
+				d := v - want
+				sum += d * d
+			}
+			rows = append(rows, NoiseRow{
+				ProbeMW:     probe,
+				SigmaScale:  scale,
+				SigmaMW:     sim.SigmaMW,
+				StreamLen:   l,
+				RMSE:        math.Sqrt(sum / float64(trials)),
+				MeasuredBER: measured,
+				AnalyticBER: analytic,
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NoiseRow, 0, combos*len(spec.Lengths))
+	for _, rows := range groups {
+		out = append(out, rows...)
 	}
 	return out, nil
 }

@@ -1,0 +1,66 @@
+package dse
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/stochastic"
+)
+
+// This file is the deterministic parallel sweep engine the figure
+// generators run on. Every design-space study in this package is an
+// index-ordered list of independent points — a grid cell of Fig. 6(a),
+// one polynomial order of Fig. 7, one (probe, sigma) combination of
+// the noise study — so they all reduce to "evaluate point i" fanned
+// over the internal/parallel worker pool. The runners keep results in
+// index order and derive any randomness from the point index alone
+// (stochastic.DeriveSeed), so a sweep returns identical results at any
+// GOMAXPROCS and under any scheduling. Nested parallelism is fine:
+// point functions may themselves call the batch evaluators (which use
+// the same pool primitive), as the noise and stream-length studies do.
+
+// Sweep evaluates point(i) for every i in [0, n) over the worker pool
+// and returns the results in index order.
+func Sweep[T any](n int, point func(i int) T) []T {
+	out := make([]T, n)
+	parallel.For(n, func(i int) { out[i] = point(i) })
+	return out
+}
+
+// SweepErr is Sweep for fallible points. Every point runs; if any
+// fail, the error of the lowest failing index is returned (a
+// deterministic choice) along with a nil slice.
+func SweepErr[T any](n int, point func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	parallel.For(n, func(i int) { out[i], errs[i] = point(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SweepSeeded is Sweep with a per-point seed derived from the base
+// seed and the index alone — the hook Monte-Carlo sweeps use to stay
+// reproducible on any core count.
+func SweepSeeded[T any](n int, seed uint64, point func(i int, pointSeed uint64) T) []T {
+	return Sweep(n, func(i int) T { return point(i, stochastic.DeriveSeed(seed, i)) })
+}
+
+// SweepSeededErr is SweepErr with a derived per-point seed.
+func SweepSeededErr[T any](n int, seed uint64, point func(i int, pointSeed uint64) (T, error)) ([]T, error) {
+	return SweepErr(n, func(i int) (T, error) { return point(i, stochastic.DeriveSeed(seed, i)) })
+}
+
+// Grid evaluates point(r, c) for every cell of an rows × cols grid
+// over the worker pool and returns the results in row-major order —
+// the shape of the Fig. 6(a) design-space study.
+func Grid[T any](rows, cols int, point func(r, c int) T) []T {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return Sweep(rows*cols, func(i int) T { return point(i/cols, i%cols) })
+}

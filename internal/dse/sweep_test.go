@@ -1,0 +1,167 @@
+package dse
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestSweepOrdersResults(t *testing.T) {
+	got := Sweep(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+	if len(Sweep(0, func(int) int { return 1 })) != 0 {
+		t.Error("empty sweep not empty")
+	}
+}
+
+func TestSweepErrReturnsLowestIndexError(t *testing.T) {
+	_, err := SweepErr(10, func(i int) (int, error) {
+		if i%3 == 2 { // fails at 2, 5, 8
+			return 0, fmt.Errorf("point %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "point 2" {
+		t.Fatalf("err = %v, want the lowest failing index", err)
+	}
+	got, err := SweepErr(4, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSweepSeededDerivesPerPointSeeds(t *testing.T) {
+	a := SweepSeeded(8, 42, func(_ int, seed uint64) uint64 { return seed })
+	b := SweepSeeded(8, 42, func(_ int, seed uint64) uint64 { return seed })
+	if !reflect.DeepEqual(a, b) {
+		t.Error("seeded sweep not reproducible")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatalf("duplicate derived seed %d", s)
+		}
+		seen[s] = true
+	}
+	c := SweepSeeded(8, 43, func(_ int, seed uint64) uint64 { return seed })
+	if reflect.DeepEqual(a, c) {
+		t.Error("different base seeds derived identical point seeds")
+	}
+}
+
+func TestGridRowMajorOrder(t *testing.T) {
+	got := Grid(3, 4, func(r, c int) [2]int { return [2]int{r, c} })
+	if len(got) != 12 {
+		t.Fatalf("%d cells", len(got))
+	}
+	for i, cell := range got {
+		if cell != [2]int{i / 4, i % 4} {
+			t.Fatalf("cell %d = %v", i, cell)
+		}
+	}
+	if len(Grid(0, 5, func(r, c int) int { return 0 })) != 0 {
+		t.Error("empty grid not empty")
+	}
+}
+
+// withGOMAXPROCS runs f at the given GOMAXPROCS, restoring the old
+// value afterwards.
+func withGOMAXPROCS(n int, f func()) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(n))
+	f()
+}
+
+// assertDeterministic evaluates gen at GOMAXPROCS 1 and 4 and requires
+// deeply equal results — the contract every rewired figure sweep
+// carries.
+func assertDeterministic[T any](t *testing.T, name string, gen func() (T, error)) {
+	t.Helper()
+	var single, multi T
+	var errSingle, errMulti error
+	withGOMAXPROCS(1, func() { single, errSingle = gen() })
+	withGOMAXPROCS(4, func() { multi, errMulti = gen() })
+	if (errSingle == nil) != (errMulti == nil) {
+		t.Fatalf("%s: errors differ: %v vs %v", name, errSingle, errMulti)
+	}
+	if errSingle != nil {
+		t.Fatalf("%s: %v", name, errSingle)
+	}
+	if !reflect.DeepEqual(single, multi) {
+		t.Errorf("%s: GOMAXPROCS=1 and 4 disagree\n  1: %+v\n  4: %+v", name, single, multi)
+	}
+}
+
+func TestFig6ADeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "Fig6A", func() ([]Fig6APoint, error) {
+		return Fig6A(4, 3), nil
+	})
+}
+
+func TestFig6BDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "Fig6B", func() ([]Fig6BPoint, error) {
+		return Fig6B([]float64{1e-2, 1e-4, 1e-6})
+	})
+}
+
+func TestFig6CDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "Fig6C", func() ([]Fig6CPoint, error) {
+		pts := Fig6C()
+		// Errors carry unstable fmt pointers; compare the data fields.
+		for i := range pts {
+			pts[i].Err = nil
+		}
+		return pts, nil
+	})
+}
+
+func TestFig7ADeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "Fig7A", func() ([]Fig7ASeries, error) {
+		return Fig7A([]int{2, 4}, 7)
+	})
+}
+
+func TestFig7BDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "Fig7B", func() ([]Fig7BRow, error) {
+		return Fig7B([]int{2, 4})
+	})
+}
+
+func TestRingSensitivityDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "RingSensitivity", func() ([]RingSensitivityRow, error) {
+		return RingSensitivity([]float64{0.75, 1.0, 1.25}), nil
+	})
+}
+
+func TestNoiseStudyDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	spec := NoiseStudySpec{
+		X:       0.5,
+		Lengths: []int{64, 128},
+		ProbeMW: []float64{1, 0.5},
+		Trials:  4,
+		BERBits: 2_000,
+		Seed:    21,
+	}
+	assertDeterministic(t, "NoiseStudy", func() ([]NoiseRow, error) {
+		return NoiseStudy(spec)
+	})
+}
+
+func TestEdgeStudyDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "EdgeStudy", func() ([]EdgeStudyRow, error) {
+		return EdgeStudy([]int{64, 128}, 7)
+	})
+}
+
+func TestStreamLengthSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	assertDeterministic(t, "StreamLengthSweep", func() ([]StreamSweepRow, error) {
+		return StreamLengthSweep([]int{64, 128}, 5, 9)
+	})
+}

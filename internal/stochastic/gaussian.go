@@ -1,0 +1,91 @@
+package stochastic
+
+import "math"
+
+// Gaussian draws normal deviates from a uniform NumberSource via the
+// Box–Muller transform. It is deterministic given the source, which
+// keeps Monte-Carlo sweeps reproducible, and offers both a per-sample
+// interface (Next/NextScaled) and block generation (Fill/FillScaled)
+// for the word-parallel noisy evaluators. Block and serial generation
+// from equal sources produce identical sequences — the cached spare
+// deviate included — so the two interfaces can be interleaved freely.
+//
+// It lives in this leaf package so that both internal/transient (noise
+// injection) and internal/core (process-variation yield analysis) can
+// share one sampler without an import cycle.
+type Gaussian struct {
+	src   NumberSource
+	spare float64
+	has   bool
+}
+
+// NewGaussian wraps a uniform source.
+func NewGaussian(src NumberSource) *Gaussian {
+	if src == nil {
+		panic("stochastic: nil NumberSource")
+	}
+	return &Gaussian{src: src}
+}
+
+// pair draws one Box–Muller input pair, rejecting u1 == 0 to avoid
+// log(0).
+func (g *Gaussian) pair() (u1, u2 float64) {
+	for {
+		u1 = g.src.Next()
+		if u1 > 0 {
+			break
+		}
+	}
+	return u1, g.src.Next()
+}
+
+// Next returns a standard normal deviate.
+func (g *Gaussian) Next() float64 {
+	if g.has {
+		g.has = false
+		return g.spare
+	}
+	u1, u2 := g.pair()
+	r := math.Sqrt(-2 * math.Log(u1))
+	sin, cos := math.Sincos(2 * math.Pi * u2)
+	g.spare = r * sin
+	g.has = true
+	return r * cos
+}
+
+// NextScaled returns a normal deviate with the given standard
+// deviation.
+func (g *Gaussian) NextScaled(sigma float64) float64 {
+	return sigma * g.Next()
+}
+
+// Fill writes len(dst) standard normal deviates, transforming the
+// uniform source a Box–Muller pair at a time. It consumes the source
+// exactly as len(dst) Next calls would and leaves the same spare
+// state behind, so filled and per-sample sequences are bit-identical.
+func (g *Gaussian) Fill(dst []float64) {
+	i := 0
+	if g.has && len(dst) > 0 {
+		g.has = false
+		dst[0] = g.spare
+		i = 1
+	}
+	for ; i+1 < len(dst); i += 2 {
+		u1, u2 := g.pair()
+		r := math.Sqrt(-2 * math.Log(u1))
+		sin, cos := math.Sincos(2 * math.Pi * u2)
+		dst[i], dst[i+1] = r*cos, r*sin
+	}
+	if i < len(dst) {
+		dst[i] = g.Next() // odd tail: generate a pair, cache the spare
+	}
+}
+
+// FillScaled fills dst with normal deviates of the given standard
+// deviation — sigma times the Fill sequence, matching NextScaled.
+func (g *Gaussian) FillScaled(dst []float64, sigma float64) {
+	g.Fill(dst)
+	for i := range dst {
+		dst[i] *= sigma
+	}
+}

@@ -3,6 +3,9 @@ package transient
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/stochastic"
 )
 
 // SyncPoint is one sample of the detector-gating study: the sampling
@@ -18,28 +21,22 @@ type SyncPoint struct {
 	InPulse bool
 }
 
-// SyncSweep quantifies the synchronization requirement the paper's
-// §V.D raises for pulse-based pumps: the filter is only tuned while
-// the 26 ps pulse is present, so a detector sampling outside the
-// pulse window sees the relaxed (untuned) filter and the computation
-// fails. The sweep measures the worst-case BER at `points` sampling
-// offsets across one bit slot, with `bits` transmitted pattern pairs
-// per offset.
-//
-// Inside the pulse window the received level carries the selected
-// channel's power; outside it the filter rests at λref, where no
-// probe channel aligns, so the '1' level collapses onto the '0'
-// level and the BER rises toward 0.5.
-func (s *Simulator) SyncSweep(points, bits int) []SyncPoint {
-	if points < 2 {
-		points = 2
-	}
+// syncLevels is the static part of the sweep: the worst-case pattern
+// levels inside and outside the pulse window, the decision threshold,
+// and the timing windows shared by the parallel path and its serial
+// oracle.
+type syncLevels struct {
+	bitT, pulseT                   float64
+	oneIn, zeroIn, oneOut, zeroOut float64
+	threshold                      float64
+}
+
+func (s *Simulator) syncLevels() syncLevels {
 	c := s.Unit.Circuit
 	p := c.P
-	bitT := p.BitPeriodS()
-	pulseT := p.PulseWidthS
-	if pulseT <= 0 || pulseT > bitT {
-		pulseT = bitT
+	l := syncLevels{bitT: p.BitPeriodS(), pulseT: p.PulseWidthS}
+	if l.pulseT <= 0 || l.pulseT > l.bitT {
+		l.pulseT = l.bitT
 	}
 
 	n := p.Order
@@ -53,46 +50,121 @@ func (s *Simulator) SyncSweep(points, bits int) []SyncPoint {
 		}
 	}
 	// In-pulse levels: filter tuned to the worst channel.
-	oneIn := c.ReceivedPowerMW(worst, onePattern)
-	zeroIn := c.ReceivedPowerMW(worst, zeroPattern)
+	l.oneIn = c.ReceivedPowerMW(worst, onePattern)
+	l.zeroIn = c.ReceivedPowerMW(worst, zeroPattern)
 	// Out-of-pulse levels: filter relaxed to λref (no pump). The
 	// drop port then sits FilterOffset away from the top channel.
-	oneOut := s.relaxedPower(onePattern)
-	zeroOut := s.relaxedPower(zeroPattern)
+	l.oneOut = s.relaxedPower(onePattern)
+	l.zeroOut = s.relaxedPower(zeroPattern)
+	l.threshold = (l.oneIn + l.zeroIn) / 2
+	return l
+}
 
-	threshold := (oneIn + zeroIn) / 2
-	out := make([]SyncPoint, 0, points)
-	for k := 0; k < points; k++ {
-		// Sample at slot midpoints so the window classification is
-		// unambiguous at the boundaries.
-		off := bitT * (float64(k) + 0.5) / float64(points)
-		inPulse := off < pulseT
-		oneLvl, zeroLvl := oneOut, zeroOut
-		if inPulse {
-			oneLvl, zeroLvl = oneIn, zeroIn
+// point measures offset k of a `points`-offset sweep with `bits`
+// transmitted pattern pairs, drawing noise from g in slot order. The
+// block flag selects 64-sample Gaussian fills (the word-parallel path)
+// or per-slot draws (the serial oracle); the two consume g identically
+// and count identical errors.
+func (l syncLevels) point(k, points, bits int, g *Gaussian, sigma float64, block bool) SyncPoint {
+	// Sample at slot midpoints so the window classification is
+	// unambiguous at the boundaries.
+	off := l.bitT * (float64(k) + 0.5) / float64(points)
+	inPulse := off < l.pulseT
+	oneLvl, zeroLvl := l.oneOut, l.zeroOut
+	if inPulse {
+		oneLvl, zeroLvl = l.oneIn, l.zeroIn
+	}
+	errs := 0
+	if block {
+		var noise [64]float64
+		for t := 0; t < bits; t += 64 {
+			nb := min(64, bits-t)
+			g.FillScaled(noise[:nb], sigma)
+			for i := 0; i < nb; i++ {
+				errs += l.slotError(t+i, oneLvl, zeroLvl, noise[i])
+			}
 		}
-		errs := 0
+	} else {
 		for t := 0; t < bits; t++ {
-			var lvl float64
-			var want int
-			if t%2 == 0 {
-				lvl, want = oneLvl, 1
-			} else {
-				lvl, want = zeroLvl, 0
-			}
-			got := 0
-			if lvl+s.noise.NextScaled(s.SigmaMW) > threshold {
-				got = 1
-			}
-			if got != want {
-				errs++
-			}
+			errs += l.slotError(t, oneLvl, zeroLvl, g.NextScaled(sigma))
 		}
-		out = append(out, SyncPoint{
-			OffsetS: off,
-			BER:     float64(errs) / float64(bits),
-			InPulse: inPulse,
-		})
+	}
+	return SyncPoint{
+		OffsetS: off,
+		BER:     float64(errs) / float64(bits),
+		InPulse: inPulse,
+	}
+}
+
+// slotError returns 1 when slot t decides wrongly: even slots carry
+// the '1' level, odd slots the '0' level.
+func (l syncLevels) slotError(t int, oneLvl, zeroLvl, noiseMW float64) int {
+	lvl, want := oneLvl, 1
+	if t%2 != 0 {
+		lvl, want = zeroLvl, 0
+	}
+	got := 0
+	if lvl+noiseMW > l.threshold {
+		got = 1
+	}
+	if got != want {
+		return 1
+	}
+	return 0
+}
+
+// syncSalt separates the per-offset noise seed stream of SyncSweep
+// from the batch trial streams derived from the same simulator seed.
+const syncSalt = 0x6A09E667F3BCC908
+
+// offsetNoise returns offset k's noise generator, derived from the
+// simulator's base seed and k only.
+func (s *Simulator) offsetNoise(k int) *Gaussian {
+	return NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(s.seed^syncSalt, k)))
+}
+
+// SyncSweep quantifies the synchronization requirement the paper's
+// §V.D raises for pulse-based pumps: the filter is only tuned while
+// the 26 ps pulse is present, so a detector sampling outside the
+// pulse window sees the relaxed (untuned) filter and the computation
+// fails. The sweep measures the worst-case BER at `points` sampling
+// offsets across one bit slot, with `bits` transmitted pattern pairs
+// per offset.
+//
+// Inside the pulse window the received level carries the selected
+// channel's power; outside it the filter rests at λref, where no
+// probe channel aligns, so the '1' level collapses onto the '0'
+// level and the BER rises toward 0.5.
+//
+// Offsets fan out over the internal/parallel worker pool, each drawing
+// block Gaussian noise from a generator seeded by the simulator's seed
+// and the offset index alone, so the sweep is bit-identical to
+// SyncSweepSerial and deterministic on any core count. It does not
+// advance the simulator's serial noise stream.
+func (s *Simulator) SyncSweep(points, bits int) []SyncPoint {
+	if points < 2 {
+		points = 2
+	}
+	l := s.syncLevels()
+	sigma := s.SigmaMW
+	out := make([]SyncPoint, points)
+	parallel.For(points, func(k int) {
+		out[k] = l.point(k, points, bits, s.offsetNoise(k), sigma, true)
+	})
+	return out
+}
+
+// SyncSweepSerial is the retained bit-serial oracle for SyncSweep:
+// the same per-offset derived noise generators consumed one sample
+// per slot, offsets walked in order on the calling goroutine.
+func (s *Simulator) SyncSweepSerial(points, bits int) []SyncPoint {
+	if points < 2 {
+		points = 2
+	}
+	l := s.syncLevels()
+	out := make([]SyncPoint, points)
+	for k := range out {
+		out[k] = l.point(k, points, bits, s.offsetNoise(k), s.SigmaMW, false)
 	}
 	return out
 }

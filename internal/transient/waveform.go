@@ -81,42 +81,94 @@ type EyeStats struct {
 	OpeningMW float64
 }
 
-// MeasureEye runs `bits` noisy slots at input probability x and
-// aggregates the decision-instant statistics.
-func (s *Simulator) MeasureEye(x float64, bits int) EyeStats {
-	var e EyeStats
-	e.Max0 = math.Inf(-1)
-	e.Min1 = math.Inf(1)
-	var sum0, sum1, sq0, sq1 float64
-	for t := 0; t < bits; t++ {
-		r := s.Unit.Step(x, 0)
-		noisy := r.ReceivedMW + s.noise.NextScaled(s.SigmaMW)
-		if r.Z[r.Selected] == 1 {
-			e.Count1++
-			sum1 += noisy
-			sq1 += noisy * noisy
-			if noisy < e.Min1 {
-				e.Min1 = noisy
-			}
-		} else {
-			e.Count0++
-			sum0 += noisy
-			sq0 += noisy * noisy
-			if noisy > e.Max0 {
-				e.Max0 = noisy
-			}
+// eyeAccum carries the running decision-instant statistics shared by
+// the word-parallel MeasureEye and its serial oracle; both feed it one
+// noisy sample per cycle in cycle order, so the two paths accumulate
+// bit-identical sums.
+type eyeAccum struct {
+	e                    EyeStats
+	sum0, sum1, sq0, sq1 float64
+}
+
+func newEyeAccum() *eyeAccum {
+	a := &eyeAccum{}
+	a.e.Max0 = math.Inf(-1)
+	a.e.Min1 = math.Inf(1)
+	return a
+}
+
+// add records one cycle: the selected coefficient bit and the noisy
+// received power.
+func (a *eyeAccum) add(selectedBit int, noisy float64) {
+	if selectedBit == 1 {
+		a.e.Count1++
+		a.sum1 += noisy
+		a.sq1 += noisy * noisy
+		if noisy < a.e.Min1 {
+			a.e.Min1 = noisy
+		}
+	} else {
+		a.e.Count0++
+		a.sum0 += noisy
+		a.sq0 += noisy * noisy
+		if noisy > a.e.Max0 {
+			a.e.Max0 = noisy
 		}
 	}
+}
+
+// stats finalizes the means, sigmas and opening.
+func (a *eyeAccum) stats() EyeStats {
+	e := a.e
 	if e.Count0 > 0 {
-		e.Mean0 = sum0 / float64(e.Count0)
-		e.Sigma0 = math.Sqrt(math.Max(0, sq0/float64(e.Count0)-e.Mean0*e.Mean0))
+		e.Mean0 = a.sum0 / float64(e.Count0)
+		e.Sigma0 = math.Sqrt(math.Max(0, a.sq0/float64(e.Count0)-e.Mean0*e.Mean0))
 	}
 	if e.Count1 > 0 {
-		e.Mean1 = sum1 / float64(e.Count1)
-		e.Sigma1 = math.Sqrt(math.Max(0, sq1/float64(e.Count1)-e.Mean1*e.Mean1))
+		e.Mean1 = a.sum1 / float64(e.Count1)
+		e.Sigma1 = math.Sqrt(math.Max(0, a.sq1/float64(e.Count1)-e.Mean1*e.Mean1))
 	}
 	e.OpeningMW = e.Min1 - e.Max0
 	return e
+}
+
+// MeasureEye runs `bits` noisy slots at input probability x and
+// aggregates the decision-instant statistics. It runs word-parallel:
+// the unit decodes 64 cycles per SNG word draw (core.Unit.Cycles, with
+// received powers read from the shared table) and the detector noise
+// arrives in 64-sample blocks (Gaussian.FillScaled). The unit's
+// generators and the simulator's noise stream advance exactly as the
+// bit-serial path does, so the statistics are bit-identical to
+// MeasureEyeSerial from equal starting state.
+func (s *Simulator) MeasureEye(x float64, bits int) EyeStats {
+	if bits <= 0 {
+		return newEyeAccum().stats()
+	}
+	acc := newEyeAccum()
+	var noise [64]float64
+	sel := s.Unit.Circuit.SelectedChannel
+	err := s.Unit.Cycles(x, bits, func(t, weight, zmask int, receivedMW float64) {
+		if t%64 == 0 {
+			s.noise.FillScaled(noise[:min(64, bits-t)], s.SigmaMW)
+		}
+		acc.add(zmask>>sel(weight)&1, receivedMW+noise[t%64])
+	})
+	if err != nil {
+		// Unreachable: bits >= 1 and the visitor is non-nil.
+		panic("transient: MeasureEye: " + err.Error())
+	}
+	return acc.stats()
+}
+
+// MeasureEyeSerial is the retained bit-serial oracle for MeasureEye:
+// one Step and one noise draw per slot.
+func (s *Simulator) MeasureEyeSerial(x float64, bits int) EyeStats {
+	acc := newEyeAccum()
+	for t := 0; t < bits; t++ {
+		r := s.Unit.Step(x, 0)
+		acc.add(r.Z[r.Selected], r.ReceivedMW+s.noise.NextScaled(s.SigmaMW))
+	}
+	return acc.stats()
 }
 
 // String implements fmt.Stringer.

@@ -96,6 +96,37 @@ func TestMeasureEyeSeparation(t *testing.T) {
 	}
 }
 
+// TestMeasureEyeMatchesSerialOracle: the word-parallel eye measurement
+// (core.Unit.Cycles + block noise fills) accumulates bit-identical
+// statistics to the Step-per-slot oracle from equal starting state,
+// and both leave the generators in the same state.
+func TestMeasureEyeMatchesSerialOracle(t *testing.T) {
+	for _, bits := range []int{1, 63, 64, 65, 1000, 4097} {
+		word := newTestSim(t, 0, 72)
+		serial := newTestSim(t, 0, 72)
+		got := word.MeasureEye(0.5, bits)
+		want := serial.MeasureEyeSerial(0.5, bits)
+		if got != want {
+			t.Fatalf("bits=%d: word %+v vs serial %+v", bits, got, want)
+		}
+		// Both paths consumed the unit SNGs and the noise stream
+		// identically, so a follow-up measurement still agrees.
+		got2 := word.MeasureEye(0.3, 128)
+		want2 := serial.MeasureEyeSerial(0.3, 128)
+		if got2 != want2 {
+			t.Fatalf("bits=%d: generator states diverged: %+v vs %+v", bits, got2, want2)
+		}
+	}
+}
+
+func TestMeasureEyeDegenerateBits(t *testing.T) {
+	s := newTestSim(t, 0, 73)
+	e := s.MeasureEye(0.5, 0)
+	if e.Count0 != 0 || e.Count1 != 0 {
+		t.Errorf("counts %d/%d for zero bits", e.Count0, e.Count1)
+	}
+}
+
 func TestMeasureEyeClosesUnderNoise(t *testing.T) {
 	s := newTestSim(t, 0, 71)
 	s.SigmaMW = 0.5 // noise comparable to the signal swing
