@@ -1,0 +1,29 @@
+# Convenience targets; everything here is plain `go` underneath.
+
+# Pipelines must fail when `go test` fails, not just when the final
+# benchdelta stage does.
+SHELL       := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+# The benchmarks tracked by CI's bench-delta job (cmd/benchdelta):
+# the PR 5 word-parallel rewrites, serial oracles included.
+BENCH_PATTERN := Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo
+BENCH_PKGS    := ./internal/transient ./internal/core ./internal/image
+BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=3x -count=3
+
+.PHONY: test bench-delta bench-baseline
+
+test:
+	go build ./... && go test ./...
+
+# Record this machine's numbers and gate them against the committed
+# baseline — what CI's bench-delta job runs.
+bench-delta:
+	go test $(BENCH_FLAGS) $(BENCH_PKGS) \
+	  | go run ./cmd/benchdelta -out BENCH_PR5.json -baseline BENCH_BASELINE.json -threshold 0.30
+
+# Refresh the committed baseline (run on the reference machine — CI's
+# runner class — and commit the result).
+bench-baseline:
+	go test $(BENCH_FLAGS) $(BENCH_PKGS) \
+	  | go run ./cmd/benchdelta -update -baseline BENCH_BASELINE.json

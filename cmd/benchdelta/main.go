@@ -1,0 +1,213 @@
+// Command benchdelta turns `go test -bench` output into a compact
+// JSON benchmark table and gates CI on a committed baseline — the
+// perf-regression tracker behind the bench-delta job.
+//
+// Record a run (CI writes BENCH_PR5.json and uploads it as an
+// artifact):
+//
+//	go test -run '^$' -bench 'Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo' \
+//	    -benchmem -benchtime=3x -count=3 ./internal/transient ./internal/core ./internal/image \
+//	  | go run ./cmd/benchdelta -out BENCH_PR5.json -baseline BENCH_BASELINE.json -threshold 0.30
+//
+// The run fails (exit 1) if any benchmark tracked by the baseline is
+// missing from the new output or regresses in ns/op by more than the
+// threshold. New benchmarks absent from the baseline are reported but
+// do not fail the run — commit a refreshed baseline to start tracking
+// them.
+//
+// Refresh the committed baseline (also `make bench-baseline`):
+//
+//	go test -run '^$' -bench ... -benchmem -benchtime=3x -count=3 ./... \
+//	  | go run ./cmd/benchdelta -update -baseline BENCH_BASELINE.json
+//
+// With -count > 1 the minimum ns/op across repetitions is kept — the
+// least-noise estimate of a benchmark's true cost.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded cost.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Table is the JSON document: benchmark name (with the -GOMAXPROCS
+// suffix stripped) to cost.
+type Table struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output to parse (default stdin)")
+	out := flag.String("out", "", "write the parsed table as JSON to this path")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against (or to write with -update)")
+	threshold := flag.Float64("threshold", 0.30, "fail when ns/op regresses by more than this fraction")
+	update := flag.Bool("update", false, "write the parsed table to -baseline instead of comparing")
+	flag.Parse()
+
+	if err := run(*in, *out, *baseline, *threshold, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, baseline string, threshold float64, update bool) error {
+	src := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	table, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(table.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if out != "" {
+		if err := writeJSON(out, table); err != nil {
+			return err
+		}
+	}
+	if update {
+		if baseline == "" {
+			return fmt.Errorf("-update needs -baseline")
+		}
+		fmt.Printf("recorded %d benchmarks to %s\n", len(table.Benchmarks), baseline)
+		return writeJSON(baseline, table)
+	}
+	if baseline == "" {
+		fmt.Printf("parsed %d benchmarks (no -baseline, nothing to gate)\n", len(table.Benchmarks))
+		return nil
+	}
+	base, err := readJSON(baseline)
+	if err != nil {
+		return err
+	}
+	return Compare(os.Stdout, base, table, threshold)
+}
+
+// Parse reads `go test -bench` output and keeps, per benchmark name,
+// the minimum ns/op (and its allocs/op) across repetitions.
+func Parse(r io.Reader) (Table, error) {
+	t := Table{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-P  N  ns ns/op  [B B/op  allocs allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		var allocs int64
+		for i := 4; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "allocs/op" {
+				allocs, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
+		}
+		if prev, ok := t.Benchmarks[name]; !ok || ns < prev.NsPerOp {
+			t.Benchmarks[name] = Result{NsPerOp: ns, AllocsPerOp: allocs}
+		}
+	}
+	return t, sc.Err()
+}
+
+// Compare gates the new table against the baseline: every baseline
+// benchmark must be present and within threshold of its recorded
+// ns/op. It prints one line per tracked benchmark and an overall
+// verdict, returning an error when the gate fails.
+func Compare(w io.Writer, base, next Table, threshold float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		n, ok := next.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "MISSING  %-40s baseline %.0f ns/op, not in this run\n", name, b.NsPerOp)
+			failed++
+			continue
+		}
+		delta := n.NsPerOp/b.NsPerOp - 1
+		status := "ok      "
+		if delta > threshold {
+			status = "REGRESS "
+			failed++
+		}
+		fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%), %d allocs/op\n",
+			status, name, b.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp)
+	}
+	var freshNames []string
+	for name := range next.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			freshNames = append(freshNames, name)
+		}
+	}
+	sort.Strings(freshNames)
+	fresh := len(freshNames)
+	for _, name := range freshNames {
+		fmt.Fprintf(w, "new      %-40s %12.0f ns/op (untracked; refresh the baseline to gate)\n",
+			name, next.Benchmarks[name].NsPerOp)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d tracked benchmarks regressed past %.0f%% (or went missing)",
+			failed, len(names), threshold*100)
+	}
+	fmt.Fprintf(w, "all %d tracked benchmarks within %.0f%% of baseline (%d untracked)\n",
+		len(names), threshold*100, fresh)
+	return nil
+}
+
+func writeJSON(path string, t Table) error {
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readJSON(path string) (Table, error) {
+	var t Table
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(buf, &t); err != nil {
+		return t, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.Benchmarks) == 0 {
+		return t, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return t, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/transient
+BenchmarkTrace-4         	       3	    100000 ns/op	     120 B/op	       5 allocs/op
+BenchmarkTrace-4         	       3	     90000 ns/op	     120 B/op	       5 allocs/op
+BenchmarkTrace-4         	       3	     95000 ns/op	     120 B/op	       5 allocs/op
+BenchmarkTraceSerial-4   	       3	    400000 ns/op	      64 B/op	       2 allocs/op
+BenchmarkNoAllocs-4      	     100	      1234 ns/op
+PASS
+`
+
+func TestParseKeepsMinAcrossCounts(t *testing.T) {
+	table, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := table.Benchmarks["BenchmarkTrace"]
+	if !ok {
+		t.Fatalf("BenchmarkTrace missing: %+v", table)
+	}
+	if got.NsPerOp != 90000 || got.AllocsPerOp != 5 {
+		t.Errorf("min not kept: %+v", got)
+	}
+	if _, ok := table.Benchmarks["BenchmarkNoAllocs"]; !ok {
+		t.Error("benchmark without -benchmem columns dropped")
+	}
+	if len(table.Benchmarks) != 3 {
+		t.Errorf("%d benchmarks parsed, want 3", len(table.Benchmarks))
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := Table{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 100},
+		"BenchmarkC": {NsPerOp: 100},
+	}}
+	// Within threshold, one untracked extra: passes.
+	next := Table{Benchmarks: map[string]Result{
+		"BenchmarkA": {NsPerOp: 125},
+		"BenchmarkB": {NsPerOp: 80},
+		"BenchmarkC": {NsPerOp: 100},
+		"BenchmarkD": {NsPerOp: 9999},
+	}}
+	var sb strings.Builder
+	if err := Compare(&sb, base, next, 0.30); err != nil {
+		t.Errorf("within-threshold run failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "untracked") {
+		t.Error("new benchmark not reported")
+	}
+	// A >30% regression fails.
+	next.Benchmarks["BenchmarkA"] = Result{NsPerOp: 131}
+	if err := Compare(&strings.Builder{}, base, next, 0.30); err == nil {
+		t.Error("regression not gated")
+	}
+	// A missing tracked benchmark fails.
+	next.Benchmarks["BenchmarkA"] = Result{NsPerOp: 100}
+	delete(next.Benchmarks, "BenchmarkB")
+	if err := Compare(&strings.Builder{}, base, next, 0.30); err == nil {
+		t.Error("missing tracked benchmark not gated")
+	}
+}

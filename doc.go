@@ -34,7 +34,13 @@
 // streams bit-identical to the serial Step loop;
 // transient.Simulator.EvaluateBatch and the dse.NoiseStudy
 // Monte-Carlo harness (oscbench -fig noise) fan per-trial seeds over
-// the same worker pool. Quickstart:
+// the same worker pool. The transient measurements follow suit, each
+// with a retained serial oracle: Trace and MeasureEye decode 64
+// cycles per word (core.Unit.Cycles) with block noise, and
+// SyncSweep, BERWaterfall (oscbench -fig waterfall) and
+// AccuracyVsLength fan their points and trials over the pool with
+// derived seeds — bit-identical to their ...Serial oracles at any
+// GOMAXPROCS. Quickstart:
 //
 //	sim := transient.NewSimulator(u, 2)
 //	val, _, err := sim.EvaluateWords(0.5, 4096)        // one noisy stream
@@ -42,7 +48,11 @@
 //	ber, err := sim.MeasureWorstCaseBER(200_000)       // batched Eq. (8) patterns
 //
 // Image workloads run word-parallel end to end. Gamma correction
-// builds its 256-level LUT through the batch engines; Robert's-cross
+// builds its 256-level LUT through the batch engines — and because
+// the LUT is a pure function of its recipe, image.GammaLUTCache
+// memoizes it across frames and image.GammaVideo corrects whole frame
+// batches through one cached table (oscbench -fig video), frames
+// fanned over the pool; Robert's-cross
 // edge detection — per-pixel correlated streams, no LUT shortcut —
 // runs on a tiled multi-core engine (image.RobertsCrossSC) built from
 // word-level plane kernels: stochastic.FillCorrelatedPlanes draws one
@@ -71,7 +81,13 @@
 // factors, the (weight, z-mask) received-power table (PowerTable), the
 // power bands and the Eq. (8) margin — so design solves, yield dies
 // and the packed engines stop re-evaluating ring Lorentzians per
-// state. Quickstart:
+// state. Even the golden-section spacing search
+// (core.EnergyModel.OptimalSpacing) fans its bracketing grid scan —
+// the ~60 independent design solves that dominate it — over the pool,
+// bit-identical to its serial oracle. CI tracks the speed itself: the
+// bench-delta job records the tentpole benchmarks as BENCH_PR5.json
+// and gates them against the committed BENCH_BASELINE.json (refresh
+// with `make bench-baseline`, see cmd/benchdelta). Quickstart:
 //
 //	pts := dse.Fig6A(12, 12)                          // parallel grid of MZIFirst solves
 //	rows := dse.Sweep(len(xs), func(i int) R { ... }) // custom sweep, index-ordered

@@ -34,7 +34,10 @@ func main() {
 
 	// 1. Waveform: 8 bit slots, 16 samples each.
 	fmt.Println("pulse-gated waveform (x = received power, gated samples uppercase):")
-	trace := sim.Trace(0.5, 8, 16)
+	trace, err := sim.Trace(0.5, 8, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	maxP := 0.0
 	for _, pt := range trace {
 		if pt.ReceivedMW > maxP {

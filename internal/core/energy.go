@@ -128,20 +128,66 @@ func (m EnergyModel) Sweep(loNM, hiNM float64, points int) []EnergyBreakdown {
 	return out
 }
 
+// optimalGridN and optimalTolNM are the bracketing-scan resolution and
+// golden-section tolerance shared by OptimalSpacing and its serial
+// oracle.
+const (
+	optimalGridN = 60
+	optimalTolNM = 1e-4
+)
+
+// energyObjective is the total-energy objective of the spacing search:
+// infeasible spacings (closed eye) are infinitely expensive.
+func (m EnergyModel) energyObjective(w float64) float64 {
+	b, err := m.Breakdown(w)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return b.TotalPJ()
+}
+
 // OptimalSpacing minimizes the total laser energy over [loNM, hiNM]
 // and returns the optimum spacing with its breakdown. Infeasible
 // spacings are treated as infinitely expensive. It returns an error
 // if no spacing in the range is feasible.
+//
+// The search runs in two stages. The bracketing pre-pass — the ~60
+// independent Breakdown solves that dominate the serial search — fans
+// its grid points over the internal/parallel worker pool and reduces
+// them in index order with numeric.GridMinimize's exact selection
+// rule. Only the golden-section refinement inside the winning bracket
+// stays sequential (each probe depends on the last), so the result is
+// bit-identical to OptimalSpacingSerial at any GOMAXPROCS.
 func (m EnergyModel) OptimalSpacing(loNM, hiNM float64) (EnergyBreakdown, error) {
-	obj := func(w float64) float64 {
-		b, err := m.Breakdown(w)
-		if err != nil {
-			return math.Inf(1)
-		}
-		return b.TotalPJ()
+	gridX := func(i int) float64 {
+		return loNM + (hiNM-loNM)*float64(i)/float64(optimalGridN)
 	}
-	best := numeric.MinimizeUnimodal(obj, loNM, hiNM, 60, 1e-4)
-	if math.IsInf(obj(best), 1) {
+	fs := make([]float64, optimalGridN+1)
+	parallel.For(len(fs), func(i int) { fs[i] = m.energyObjective(gridX(i)) })
+	// Replay the precomputed samples through GridMinimize itself —
+	// it probes f at exactly these abscissas in index order — so the
+	// selection rule (and the returned abscissa) is literally the
+	// serial oracle's, not a copy that could drift.
+	k := 0
+	best, _ := numeric.GridMinimize(func(float64) float64 { v := fs[k]; k++; return v }, loNM, hiNM, optimalGridN)
+	h := (hiNM - loNM) / float64(optimalGridN)
+	w := numeric.GoldenSection(m.energyObjective, math.Max(loNM, best-h), math.Min(hiNM, best+h), optimalTolNM)
+	// One solve covers both the feasibility check and the result:
+	// energyObjective(w) is +Inf exactly when Breakdown(w) errors.
+	b, err := m.Breakdown(w)
+	if err != nil {
+		return EnergyBreakdown{}, fmt.Errorf("core: no feasible spacing in [%g, %g] nm", loNM, hiNM)
+	}
+	return b, nil
+}
+
+// OptimalSpacingSerial is the retained serial oracle for
+// OptimalSpacing: the same grid-then-golden-section search
+// (numeric.MinimizeUnimodal) with every Breakdown solve on the calling
+// goroutine.
+func (m EnergyModel) OptimalSpacingSerial(loNM, hiNM float64) (EnergyBreakdown, error) {
+	best := numeric.MinimizeUnimodal(m.energyObjective, loNM, hiNM, optimalGridN, optimalTolNM)
+	if math.IsInf(m.energyObjective(best), 1) {
 		return EnergyBreakdown{}, fmt.Errorf("core: no feasible spacing in [%g, %g] nm", loNM, hiNM)
 	}
 	return m.Breakdown(best)

@@ -9,7 +9,17 @@
 // Gamma correction maps gray levels to probabilities as v/255 and
 // evaluates a degree-6 Bernstein approximation of x^gamma once per
 // distinct level through the word-parallel batch engines (GammaReSC,
-// GammaOptical), applying the result as a lookup table.
+// GammaOptical), applying the result as a lookup table. That table is
+// a pure function of its recipe — batch randomness is (seed, level)-
+// derived — so video-style workloads amortize it across frames:
+// GammaLUTCache memoizes the coefficient fit, the circuit solve and
+// the quantized LUT per (gamma, degree, spacing, streamLen, seed),
+// and GammaVideo corrects a whole frame batch through one cached
+// table, fanning the per-frame LUT applications over the pool —
+// bit-identical to the per-frame oracle GammaVideoSerial. Quickstart:
+//
+//	var cache image.GammaLUTCache
+//	out, err := image.GammaVideo(frames, 0.45, 6, 0.3, 1024, 9, &cache)
 //
 // Edge detection has no LUT shortcut — every pixel window needs its
 // own correlated streams — so RobertsCrossSC is a packed tiled

@@ -34,14 +34,26 @@ func GammaReSC(src *Gray, gamma float64, degree, streamLen int, seed uint64) (*G
 	if streamLen < 1 {
 		return nil, fmt.Errorf("image: stream length %d, need >= 1", streamLen)
 	}
-	got, err := stochastic.EvaluateBatch(poly, grayLevels(), streamLen, seed)
+	lut, err := rescLUT(poly, streamLen, seed)
 	if err != nil {
 		return nil, err
 	}
 	out := src.Clone()
-	lut := quantizeLUT(got)
 	applyLUT(out, &lut)
 	return out, nil
+}
+
+// rescLUT evaluates the 256 gray levels through the electronic ReSC
+// batch engine and quantizes them into a lookup table — the per-frame
+// state GammaReSC builds and GammaLUTCache amortizes. The batch
+// randomness is (seed, level-index)-derived, so the table is a pure
+// function of its arguments.
+func rescLUT(poly stochastic.BernsteinPoly, streamLen int, seed uint64) ([256]uint8, error) {
+	got, err := stochastic.EvaluateBatch(poly, grayLevels(), streamLen, seed)
+	if err != nil {
+		return [256]uint8{}, err
+	}
+	return quantizeLUT(got), nil
 }
 
 // grayLevels returns the 256 normalized gray levels v/255.
@@ -76,23 +88,34 @@ func GammaOptical(src *Gray, gamma float64, degree int, spacingNM float64, strea
 	if streamLen < 1 {
 		return nil, fmt.Errorf("image: stream length %d, need >= 1", streamLen)
 	}
-	p, err := core.MRRFirst(core.MRRFirstSpec{Order: degree, WLSpacingNM: spacingNM})
+	lut, err := opticalLUT(poly, degree, spacingNM, streamLen, seed)
 	if err != nil {
 		return nil, err
+	}
+	out := src.Clone()
+	applyLUT(out, &lut)
+	return out, nil
+}
+
+// opticalLUT sizes a circuit of matching order at the given spacing
+// and evaluates the 256 gray levels through the optical unit's batch
+// engine — the per-frame state GammaOptical builds and GammaLUTCache
+// amortizes. The unit's batch randomness is (seed, level-index)-
+// derived, so the table is a pure function of its arguments.
+func opticalLUT(poly stochastic.BernsteinPoly, degree int, spacingNM float64, streamLen int, seed uint64) ([256]uint8, error) {
+	p, err := core.MRRFirst(core.MRRFirstSpec{Order: degree, WLSpacingNM: spacingNM})
+	if err != nil {
+		return [256]uint8{}, err
 	}
 	c, err := core.NewCircuit(p)
 	if err != nil {
-		return nil, err
+		return [256]uint8{}, err
 	}
 	unit, err := core.NewUnit(c, poly, seed)
 	if err != nil {
-		return nil, err
+		return [256]uint8{}, err
 	}
-	got := unit.EvaluateBatch(grayLevels(), streamLen)
-	out := src.Clone()
-	lut := quantizeLUT(got)
-	applyLUT(out, &lut)
-	return out, nil
+	return quantizeLUT(unit.EvaluateBatch(grayLevels(), streamLen)), nil
 }
 
 // PSNR returns the peak signal-to-noise ratio between two images in

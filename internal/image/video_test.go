@@ -1,0 +1,179 @@
+package image
+
+import (
+	"runtime"
+	"testing"
+)
+
+// videoFrames returns a small mixed-content frame batch.
+func videoFrames() []*Gray {
+	return []*Gray{
+		Gradient(32, 24),
+		Checkerboard(32, 24, 4, 40, 200),
+		Radial(32, 24),
+		Gradient(16, 16), // frame sizes may vary within a batch
+	}
+}
+
+// TestGammaVideoMatchesSerialOracle: the cached batch path emits
+// frames bit-identical to one full GammaOptical build per frame — the
+// LUT is a pure function of the recipe.
+func TestGammaVideoMatchesSerialOracle(t *testing.T) {
+	frames := videoFrames()
+	got, err := GammaVideo(frames, 0.45, 6, 0.3, 256, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GammaVideoSerial(frames, 0.45, 6, 0.3, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d frames", len(got), len(want))
+	}
+	for f := range got {
+		if got[f].W != want[f].W || got[f].H != want[f].H {
+			t.Fatalf("frame %d: dimensions %dx%d vs %dx%d", f, got[f].W, got[f].H, want[f].W, want[f].H)
+		}
+		for i := range got[f].Pix {
+			if got[f].Pix[i] != want[f].Pix[i] {
+				t.Fatalf("frame %d pixel %d: cached %d vs serial %d", f, i, got[f].Pix[i], want[f].Pix[i])
+			}
+		}
+	}
+	// Inputs are untouched: the batch clones before applying.
+	if frames[0].Pix[5] != Gradient(32, 24).Pix[5] {
+		t.Error("GammaVideo mutated its input frame")
+	}
+}
+
+// TestGammaVideoGOMAXPROCSDeterminism pins the scheduling independence
+// of the frame fan-out.
+func TestGammaVideoGOMAXPROCSDeterminism(t *testing.T) {
+	frames := videoFrames()
+	multi, err := GammaVideo(frames, 0.45, 6, 0.3, 256, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	single, err := GammaVideo(frames, 0.45, 6, 0.3, 256, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range multi {
+		for i := range multi[f].Pix {
+			if multi[f].Pix[i] != single[f].Pix[i] {
+				t.Fatalf("frame %d pixel %d differs across GOMAXPROCS", f, i)
+			}
+		}
+	}
+}
+
+// TestGammaLUTCacheReuse: a shared cache returns the same table
+// pointer across frames and batches (built once), for both backends,
+// and the cached tables match the per-frame builders exactly.
+func TestGammaLUTCacheReuse(t *testing.T) {
+	var cache GammaLUTCache
+	a, err := cache.OpticalLUT(0.45, 6, 0.3, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.OpticalLUT(0.45, 6, 0.3, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated optical recipe rebuilt its LUT")
+	}
+	other, err := cache.OpticalLUT(0.45, 6, 0.3, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Error("distinct recipes shared one cache entry")
+	}
+	r1, err := cache.ReSCLUT(0.45, 6, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cache.ReSCLUT(0.45, 6, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("repeated ReSC recipe rebuilt its LUT")
+	}
+	if *r1 == *a {
+		t.Error("electronic and optical backends share a table but must be keyed apart")
+	}
+
+	// Cached tables reproduce the one-shot entry points bit-for-bit.
+	src := Gradient(32, 8)
+	viaCache := src.Clone()
+	applyLUT(viaCache, a)
+	direct, err := GammaOptical(src, 0.45, 6, 0.3, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Pix {
+		if direct.Pix[i] != viaCache.Pix[i] {
+			t.Fatalf("pixel %d: GammaOptical %d vs cached LUT %d", i, direct.Pix[i], viaCache.Pix[i])
+		}
+	}
+	viaCache = src.Clone()
+	applyLUT(viaCache, r1)
+	directReSC, err := GammaReSC(src, 0.45, 6, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range directReSC.Pix {
+		if directReSC.Pix[i] != viaCache.Pix[i] {
+			t.Fatalf("pixel %d: GammaReSC %d vs cached LUT %d", i, directReSC.Pix[i], viaCache.Pix[i])
+		}
+	}
+}
+
+func TestGammaVideoErrors(t *testing.T) {
+	frames := []*Gray{Gradient(8, 8)}
+	if _, err := GammaVideo(frames, 0.45, 6, 0.3, 0, 1, nil); err == nil {
+		t.Error("zero stream length accepted")
+	}
+	if _, err := GammaVideo(frames, -1, 6, 0.3, 256, 1, nil); err == nil {
+		t.Error("negative gamma accepted")
+	}
+	var cache GammaLUTCache
+	if _, err := cache.ReSCLUT(0.45, 6, -2, 1); err == nil {
+		t.Error("negative stream length accepted by ReSCLUT")
+	}
+	// An empty batch is not an error — there is just nothing to do.
+	out, err := GammaVideo(nil, 0.45, 6, 0.3, 256, 1, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %d frames", err, len(out))
+	}
+}
+
+// BenchmarkGammaVideoSerial / BenchmarkGammaVideo measure the
+// cross-frame amortization: the serial oracle re-runs the Bernstein
+// fit, the MRR-first solve and 256 stream evaluations per frame; the
+// cached path builds them once per recipe and applies a LUT per frame
+// over the pool.
+func BenchmarkGammaVideoSerial(b *testing.B) {
+	frames := []*Gray{Gradient(64, 64), Radial(64, 64), Checkerboard(64, 64, 8, 30, 220), Gradient(64, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GammaVideoSerial(frames, 0.45, 6, 0.3, 1024, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGammaVideo(b *testing.B) {
+	frames := []*Gray{Gradient(64, 64), Radial(64, 64), Checkerboard(64, 64, 8, 30, 220), Gradient(64, 64)}
+	var cache GammaLUTCache
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GammaVideo(frames, 0.45, 6, 0.3, 1024, 3, &cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package optics
 import (
 	"fmt"
 	"io"
+	"slices"
 	"strings"
 )
 
@@ -59,8 +60,16 @@ func RenderSpectrumASCII(w io.Writer, series map[rune][]SpectrumPoint, width, he
 	for i := range grid {
 		grid[i] = []rune(strings.Repeat(" ", width))
 	}
-	for r, pts := range series {
-		for _, p := range pts {
+	// Draw in sorted rune order: map iteration order is randomized,
+	// and where two series land on one cell the later draw wins —
+	// unordered iteration made the plot differ run to run.
+	runes := make([]rune, 0, len(series))
+	for r := range series {
+		runes = append(runes, r)
+	}
+	slices.Sort(runes)
+	for _, r := range runes {
+		for _, p := range series[r] {
 			col := 0
 			if hiNM > loNM {
 				col = int((p.WavelengthNM - loNM) / (hiNM - loNM) * float64(width-1))

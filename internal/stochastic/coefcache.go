@@ -1,0 +1,54 @@
+package stochastic
+
+import "sync"
+
+// GammaCoefCache memoizes GammaCorrection fits keyed by
+// (gamma, degree) — the coefficient half of the cross-frame gamma
+// cache. A ReSC or optical unit re-built for every frame of a video
+// workload re-runs the 512-sample least-squares Bernstein fit each
+// time; the fit depends on (gamma, degree) alone, so one cached
+// polynomial serves every frame. The zero value is ready to use and
+// safe for concurrent callers.
+//
+// Cached polynomials share their coefficient slice across callers and
+// must be treated as read-only, which every evaluator in this package
+// already does.
+type GammaCoefCache struct {
+	mu sync.Mutex
+	m  map[gammaCoefKey]*gammaCoefEntry
+}
+
+type gammaCoefKey struct {
+	gamma  float64
+	degree int
+}
+
+type gammaCoefEntry struct {
+	once   sync.Once
+	poly   BernsteinPoly
+	maxErr float64
+	err    error
+}
+
+// GammaCorrection returns the cached degree-n Bernstein approximation
+// of x^gamma, fitting it on first use — identical to the package-level
+// GammaCorrection (errors included). The per-entry build runs outside
+// the cache lock, so concurrent misses on distinct keys fit in
+// parallel while a shared key is fitted exactly once.
+func (c *GammaCoefCache) GammaCorrection(gamma float64, degree int) (BernsteinPoly, float64, error) {
+	key := gammaCoefKey{gamma: gamma, degree: degree}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[gammaCoefKey]*gammaCoefEntry)
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &gammaCoefEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.poly, e.maxErr, e.err = GammaCorrection(gamma, degree)
+	})
+	return e.poly, e.maxErr, e.err
+}

@@ -1,0 +1,60 @@
+package stochastic
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestGammaCoefCacheMatchesDirect: cache hits return the same fit the
+// package-level GammaCorrection computes, errors included.
+func TestGammaCoefCacheMatchesDirect(t *testing.T) {
+	var c GammaCoefCache
+	poly, maxErr, err := c.GammaCorrection(0.45, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoly, wantMaxErr, err := GammaCorrection(0.45, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(poly.Coef, wantPoly.Coef) || maxErr != wantMaxErr {
+		t.Errorf("cached fit %v (%g) vs direct %v (%g)", poly, maxErr, wantPoly, wantMaxErr)
+	}
+	again, _, err := c.GammaCorrection(0.45, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again.Coef[0] != &poly.Coef[0] {
+		t.Error("repeated key re-ran the fit (coefficient slices differ)")
+	}
+	if _, _, err := c.GammaCorrection(-1, 6); err == nil {
+		t.Error("invalid gamma accepted")
+	}
+	if _, _, err := c.GammaCorrection(-1, 6); err == nil {
+		t.Error("cached error lost on repeat")
+	}
+}
+
+// TestGammaCoefCacheConcurrent hammers one shared key and several
+// distinct keys from many goroutines — the cache must stay race-free
+// (run under -race) and agree with the direct fit.
+func TestGammaCoefCacheConcurrent(t *testing.T) {
+	var c GammaCoefCache
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, _, err := c.GammaCorrection(0.45, 6); err != nil {
+					t.Error(err)
+				}
+				if _, _, err := c.GammaCorrection(0.45, 2+g%3); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

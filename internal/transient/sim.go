@@ -213,38 +213,115 @@ type AccuracyPoint struct {
 	ThroughputResultsPerSec float64
 }
 
+// accuracySalt separates the per-trial seed streams of
+// AccuracyVsLength from the EvaluateBatch trial streams derived from
+// the same simulator seed.
+const accuracySalt = 0x3C79AC492BA7B653
+
+// accuracyLengths filters the usable stream lengths, preserving order
+// — non-positive entries are skipped (they have no defined value).
+// Both AccuracyVsLength paths index their per-trial seeds against this
+// filtered list, so skipped entries do not shift the seed streams.
+func accuracyLengths(lengths []int) []int {
+	out := make([]int, 0, len(lengths))
+	for _, l := range lengths {
+		if l >= 1 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// accuracyReduce folds per-trial squared errors (flat, trial-major
+// within each length) into the RMSE points, summing in trial order —
+// the shared reduction that keeps the fanned-out and serial paths
+// bit-identical.
+func (s *Simulator) accuracyReduce(valid []int, trials int, sq []float64) []AccuracyPoint {
+	out := make([]AccuracyPoint, len(valid))
+	for li, l := range valid {
+		sum := 0.0
+		for tr := 0; tr < trials; tr++ {
+			sum += sq[li*trials+tr]
+		}
+		out[li] = AccuracyPoint{
+			StreamLen:               l,
+			RMSE:                    math.Sqrt(sum / float64(trials)),
+			ThroughputResultsPerSec: s.Unit.Circuit.P.ThroughputBitsPerSec(l),
+		}
+	}
+	return out
+}
+
 // AccuracyVsLength measures the end-to-end RMSE at input x for each
 // stream length, averaging over trials runs — the §V.B trade-off:
 // transmission errors and stochastic fluctuation both shrink as
-// streams lengthen, at proportional cost in throughput. Trials run
-// through the word-parallel noisy path (EvaluateWords), advancing the
-// simulator's generators just as serial evaluation would.
+// streams lengthen, at proportional cost in throughput.
+//
+// The (length, trial) pairs fan out over the internal/parallel worker
+// pool like NoiseStudy's combinations: trial i runs the word-parallel
+// noisy path with SNG and noise seeds derived from the simulator's
+// seed and i alone (trialSeeds over a salted stream), so the study is
+// bit-identical to AccuracyVsLengthSerial, deterministic on any core
+// count, and identical across repeated calls — it does not advance
+// the simulator's generators or its serial noise stream.
 func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
 	if trials < 1 {
 		trials = 1
 	}
+	valid := accuracyLengths(lengths)
 	want := s.Unit.Poly.Eval(x)
-	out := make([]AccuracyPoint, 0, len(lengths))
-	for _, l := range lengths {
-		if l < 1 {
-			continue
-		}
-		sum := 0.0
-		for tr := 0; tr < trials; tr++ {
-			got, _, err := s.EvaluateWords(x, l)
-			if err != nil {
-				return nil, err
-			}
-			d := got - want
-			sum += d * d
-		}
-		out = append(out, AccuracyPoint{
-			StreamLen:               l,
-			RMSE:                    math.Sqrt(sum / float64(trials)),
-			ThroughputResultsPerSec: s.Unit.Circuit.P.ThroughputBitsPerSec(l),
+	sigma := s.SigmaMW
+	sq := make([]float64, len(valid)*trials)
+	errs := make([]error, len(sq))
+	parallel.For(len(sq), func(i int) {
+		unitSeed, noiseSeed := trialSeeds(s.seed^accuracySalt, i)
+		g := NewGaussian(stochastic.NewSplitMix64(noiseSeed))
+		got, err := s.Unit.EvaluateNoisySeeded(unitSeed, x, valid[i/trials], func(dst []float64) {
+			g.FillScaled(dst, sigma)
 		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		d := got - want
+		sq[i] = d * d
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return out, nil
+	return s.accuracyReduce(valid, trials, sq), nil
+}
+
+// AccuracyVsLengthSerial is the retained bit-serial oracle for
+// AccuracyVsLength: every trial builds a fresh unit from the same
+// derived seed (core.NewUnit seeds its generators exactly as the
+// packed path's per-trial sources are seeded) and walks it one noisy
+// Step per cycle, trials in index order on the calling goroutine.
+func (s *Simulator) AccuracyVsLengthSerial(x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	valid := accuracyLengths(lengths)
+	want := s.Unit.Poly.Eval(x)
+	sq := make([]float64, len(valid)*trials)
+	for i := range sq {
+		unitSeed, noiseSeed := trialSeeds(s.seed^accuracySalt, i)
+		u, err := core.NewUnit(s.Unit.Circuit, s.Unit.Poly, unitSeed)
+		if err != nil {
+			return nil, err
+		}
+		g := NewGaussian(stochastic.NewSplitMix64(noiseSeed))
+		length := valid[i/trials]
+		ones := 0
+		for t := 0; t < length; t++ {
+			ones += u.Step(x, g.NextScaled(s.SigmaMW)).Bit
+		}
+		d := float64(ones)/float64(length) - want
+		sq[i] = d * d
+	}
+	return s.accuracyReduce(valid, trials, sq), nil
 }
 
 // String implements fmt.Stringer.

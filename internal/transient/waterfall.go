@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stochastic"
 )
 
@@ -14,40 +15,97 @@ type WaterfallPoint struct {
 	MeasuredBER float64
 }
 
+// waterfallSalt separates the per-point simulator seed stream of
+// BERWaterfall from the per-point unit seed stream derived from the
+// same base seed.
+const waterfallSalt = 0xC2B2AE3D27D4EB4F
+
+// waterfallSeeds derives point i's unit and simulator seeds from the
+// waterfall's base seed via stochastic.DeriveSeed on two salted
+// streams. Point i's randomness depends on (base, i) only, which is
+// what makes the fanned-out waterfall scheduling-independent.
+func waterfallSeeds(base uint64, i int) (unitSeed, simSeed uint64) {
+	return stochastic.DeriveSeed(base, i), stochastic.DeriveSeed(base^waterfallSalt, i)
+}
+
+// waterfallPoint measures one probe power: rebuild the circuit at that
+// power, wire a fresh unit and simulator from the point's derived
+// seeds, and transmit `bits` worst-case pattern pairs. It is the unit
+// of work shared by the parallel waterfall and its serial oracle, so
+// the two emit identical points.
+func waterfallPoint(base core.Params, poly stochastic.BernsteinPoly, powerMW float64, bits int, unitSeed, simSeed uint64) (WaterfallPoint, error) {
+	if powerMW <= 0 {
+		return WaterfallPoint{}, fmt.Errorf("transient: probe power %g not positive", powerMW)
+	}
+	params := base
+	params.ProbePowerMW = powerMW
+	c, err := core.NewCircuit(params)
+	if err != nil {
+		return WaterfallPoint{}, err
+	}
+	u, err := core.NewUnit(c, poly, unitSeed)
+	if err != nil {
+		return WaterfallPoint{}, err
+	}
+	sim := NewSimulator(u, simSeed)
+	measured, err := sim.MeasureWorstCaseBER(bits)
+	if err != nil {
+		return WaterfallPoint{}, err
+	}
+	return WaterfallPoint{
+		ProbeMW:     powerMW,
+		AnalyticBER: sim.AnalyticWorstCaseBER(),
+		MeasuredBER: measured,
+	}, nil
+}
+
 // BERWaterfall measures the worst-case bit-error rate at each probe
 // power and pairs it with the Eq. (9) prediction — the standard link
 // validation curve. Each point rebuilds the circuit at the given
 // power and transmits `bits` worst-case pattern pairs.
+//
+// Points are independent measurements, so they fan out over the
+// internal/parallel worker pool, each with unit and simulator seeds
+// derived from the base seed and the point index alone
+// (stochastic.DeriveSeed) — the waterfall is bit-identical to
+// BERWaterfallSerial and deterministic on any core count. If several
+// points fail, the error of the lowest failing index is returned (a
+// deterministic choice).
 func BERWaterfall(base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
 	if bits < 1 {
 		return nil, fmt.Errorf("transient: waterfall needs bits >= 1")
 	}
 	poly := defaultPoly(base.Order)
-	out := make([]WaterfallPoint, 0, len(powersMW))
+	out := make([]WaterfallPoint, len(powersMW))
+	errs := make([]error, len(powersMW))
+	parallel.For(len(powersMW), func(i int) {
+		unitSeed, simSeed := waterfallSeeds(seed, i)
+		out[i], errs[i] = waterfallPoint(base, poly, powersMW[i], bits, unitSeed, simSeed)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BERWaterfallSerial is the retained serial oracle for BERWaterfall:
+// the same per-point derived seeds, points walked in order on the
+// calling goroutine.
+func BERWaterfallSerial(base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("transient: waterfall needs bits >= 1")
+	}
+	poly := defaultPoly(base.Order)
+	out := make([]WaterfallPoint, len(powersMW))
 	for i, p := range powersMW {
-		if p <= 0 {
-			return nil, fmt.Errorf("transient: probe power %g not positive", p)
-		}
-		params := base
-		params.ProbePowerMW = p
-		c, err := core.NewCircuit(params)
+		unitSeed, simSeed := waterfallSeeds(seed, i)
+		pt, err := waterfallPoint(base, poly, p, bits, unitSeed, simSeed)
 		if err != nil {
 			return nil, err
 		}
-		u, err := core.NewUnit(c, poly, seed+uint64(i)*0x9E3779B9)
-		if err != nil {
-			return nil, err
-		}
-		sim := NewSimulator(u, seed+uint64(i)*0x85EBCA6B+1)
-		measured, err := sim.MeasureWorstCaseBER(bits)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, WaterfallPoint{
-			ProbeMW:     p,
-			AnalyticBER: sim.AnalyticWorstCaseBER(),
-			MeasuredBER: measured,
-		})
+		out[i] = pt
 	}
 	return out, nil
 }

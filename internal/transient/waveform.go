@@ -23,49 +23,125 @@ type TracePoint struct {
 	Bit int
 }
 
+// traceGeom is the static slot geometry shared by the word-parallel
+// Trace and its serial oracle: bit and pulse windows, pump power and
+// the sample count per slot.
+type traceGeom struct {
+	bitT, pulseT, pumpMW float64
+	samplesPerBit        int
+}
+
+func (s *Simulator) traceGeom(samplesPerBit int) traceGeom {
+	p := s.Unit.Circuit.P
+	g := traceGeom{
+		bitT:          p.BitPeriodS(),
+		pulseT:        p.PulseWidthS,
+		pumpMW:        p.PumpPowerMW,
+		samplesPerBit: samplesPerBit,
+	}
+	if g.pulseT <= 0 || g.pulseT > g.bitT {
+		g.pulseT = g.bitT // CW pump: gate the whole slot
+	}
+	return g
+}
+
+// appendSlot writes one slot's samplesPerBit waveform samples: the
+// slot's decision bit, its noiseless received power, and one noise
+// sample per time sample (noise[k] for sample k). Both Trace paths
+// feed it the same values in slot order, so they emit identical
+// points.
+func (g traceGeom) appendSlot(out []TracePoint, slot, bit int, receivedMW float64, noise []float64) []TracePoint {
+	slotStart := float64(slot) * g.bitT
+	for k := 0; k < g.samplesPerBit; k++ {
+		ts := slotStart + g.bitT*float64(k)/float64(g.samplesPerBit)
+		inPulse := ts-slotStart < g.pulseT
+		pt := TracePoint{
+			TimeS: ts,
+			Gated: inPulse,
+			Bit:   bit,
+		}
+		if inPulse {
+			pt.PumpMW = g.pumpMW
+			pt.ReceivedMW = receivedMW + noise[k]
+		} else {
+			// Filter relaxed: only the residual floor reaches
+			// the detector.
+			pt.ReceivedMW = noise[k]
+		}
+		if pt.ReceivedMW < 0 {
+			pt.ReceivedMW = 0
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
 // Trace simulates `bits` slots at input probability x with
 // samplesPerBit time samples each and returns the waveform. The pump
 // fires at the start of each slot; detection is gated to the pulse
 // window, after which the filter relaxes and the received power is
 // meaningless for decision purposes (modeled as the signal decaying
 // to the unselected floor).
-func (s *Simulator) Trace(x float64, bits, samplesPerBit int) []TracePoint {
+//
+// It runs word-parallel, mirroring MeasureEye: the unit decodes 64
+// cycles per SNG word draw (core.Unit.Cycles, received powers from the
+// shared table) and the detector noise arrives in per-slot blocks
+// (Gaussian.FillScaled) — one decision sample plus samplesPerBit
+// display samples per slot, consuming the noise stream exactly as the
+// serial path does. The waveform is bit-identical to TraceSerial from
+// equal starting state. A non-positive bit count is an error (an
+// empty trace has no waveform), matching the length <= 0 contract of
+// the evaluation entry points; samplesPerBit is clamped to at least 2.
+func (s *Simulator) Trace(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("transient: trace needs bits >= 1, got %d", bits)
+	}
 	if samplesPerBit < 2 {
 		samplesPerBit = 2
 	}
-	p := s.Unit.Circuit.P
-	bitT := p.BitPeriodS()
-	pulseT := p.PulseWidthS
-	if pulseT <= 0 || pulseT > bitT {
-		pulseT = bitT // CW pump: gate the whole slot
-	}
+	g := s.traceGeom(samplesPerBit)
+	threshold := s.Unit.ThresholdMW()
 	out := make([]TracePoint, 0, bits*samplesPerBit)
+	noise := make([]float64, 1+samplesPerBit)
+	err := s.Unit.Cycles(x, bits, func(b, _, _ int, receivedMW float64) {
+		// noise[0] is the slot's decision draw (Step's noiseMW in the
+		// serial path); noise[1:] are the display samples.
+		s.noise.FillScaled(noise, s.SigmaMW)
+		bit := 0
+		if receivedMW+noise[0] > threshold {
+			bit = 1
+		}
+		out = g.appendSlot(out, b, bit, receivedMW, noise[1:])
+	})
+	if err != nil {
+		// Unreachable today (bits >= 1, visitor non-nil), but
+		// propagate rather than crash if Cycles grows error paths.
+		return nil, err
+	}
+	return out, nil
+}
+
+// TraceSerial is the retained bit-serial oracle for Trace: one Step
+// (with its decision noise draw) and samplesPerBit display noise draws
+// per slot.
+func (s *Simulator) TraceSerial(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("transient: trace needs bits >= 1, got %d", bits)
+	}
+	if samplesPerBit < 2 {
+		samplesPerBit = 2
+	}
+	g := s.traceGeom(samplesPerBit)
+	out := make([]TracePoint, 0, bits*samplesPerBit)
+	noise := make([]float64, samplesPerBit)
 	for b := 0; b < bits; b++ {
 		r := s.Step(x)
-		slotStart := float64(b) * bitT
-		for k := 0; k < samplesPerBit; k++ {
-			ts := slotStart + bitT*float64(k)/float64(samplesPerBit)
-			inPulse := ts-slotStart < pulseT
-			pt := TracePoint{
-				TimeS: ts,
-				Gated: inPulse,
-				Bit:   r.Bit,
-			}
-			if inPulse {
-				pt.PumpMW = p.PumpPowerMW
-				pt.ReceivedMW = r.ReceivedMW + s.noise.NextScaled(s.SigmaMW)
-			} else {
-				// Filter relaxed: only the residual floor reaches
-				// the detector.
-				pt.ReceivedMW = s.noise.NextScaled(s.SigmaMW)
-			}
-			if pt.ReceivedMW < 0 {
-				pt.ReceivedMW = 0
-			}
-			out = append(out, pt)
+		for k := range noise {
+			noise[k] = s.noise.NextScaled(s.SigmaMW)
 		}
+		out = g.appendSlot(out, b, r.Bit, r.ReceivedMW, noise)
 	}
-	return out
+	return out, nil
 }
 
 // EyeStats summarizes the gated received-power samples of a run,

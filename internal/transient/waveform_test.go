@@ -9,7 +9,10 @@ import (
 func TestTraceShapeAndGating(t *testing.T) {
 	s := newTestSim(t, 0, 60)
 	bits, spb := 8, 20
-	tr := s.Trace(0.5, bits, spb)
+	tr, err := s.Trace(0.5, bits, spb)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tr) != bits*spb {
 		t.Fatalf("trace length %d", len(tr))
 	}
@@ -49,7 +52,10 @@ func TestTraceShapeAndGating(t *testing.T) {
 func TestTraceCWGatesWholeSlot(t *testing.T) {
 	s := newTestSim(t, 0, 61)
 	s.Unit.Circuit.P.PulseWidthS = 0 // CW pump
-	tr := s.Trace(0.5, 2, 10)
+	tr, err := s.Trace(0.5, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range tr {
 		if !p.Gated {
 			t.Fatal("CW pump should gate the whole slot")
@@ -59,9 +65,62 @@ func TestTraceCWGatesWholeSlot(t *testing.T) {
 
 func TestTraceSampleClamping(t *testing.T) {
 	s := newTestSim(t, 0, 62)
-	tr := s.Trace(0.5, 1, 1) // clamps to 2 samples per bit
+	tr, err := s.Trace(0.5, 1, 1) // clamps to 2 samples per bit
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tr) != 2 {
 		t.Errorf("clamped samples = %d", len(tr))
+	}
+}
+
+// TestTraceRejectsBadBits is the regression for the silent empty trace
+// a non-positive bit count used to produce: Trace must reject it with
+// an error, matching the length <= 0 contract of the evaluation entry
+// points.
+func TestTraceRejectsBadBits(t *testing.T) {
+	s := newTestSim(t, 0, 64)
+	for _, bits := range []int{0, -3} {
+		if tr, err := s.Trace(0.5, bits, 8); err == nil {
+			t.Errorf("Trace(bits=%d) returned %d points, want error", bits, len(tr))
+		}
+		if tr, err := s.TraceSerial(0.5, bits, 8); err == nil {
+			t.Errorf("TraceSerial(bits=%d) returned %d points, want error", bits, len(tr))
+		}
+	}
+}
+
+// TestTraceMatchesSerialOracle: the word-parallel waveform writer
+// (core.Unit.Cycles + per-slot block noise fills) emits points
+// bit-identical to the Step-per-slot oracle from equal starting state,
+// and both consume the generators identically.
+func TestTraceMatchesSerialOracle(t *testing.T) {
+	for _, c := range []struct{ bits, spb int }{
+		{1, 2}, {3, 5}, {63, 2}, {64, 3}, {65, 4}, {200, 7},
+	} {
+		word := newTestSim(t, 0, 75)
+		serial := newTestSim(t, 0, 75)
+		got, err := word.Trace(0.5, c.bits, c.spb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := serial.TraceSerial(0.5, c.bits, c.spb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bits=%d spb=%d: %d vs %d points", c.bits, c.spb, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("bits=%d spb=%d: point %d: word %+v vs serial %+v", c.bits, c.spb, i, got[i], want[i])
+			}
+		}
+		// Both paths consumed the unit SNGs and the noise stream
+		// identically, so a follow-up eye measurement still agrees.
+		if g, w := word.MeasureEye(0.3, 128), serial.MeasureEyeSerial(0.3, 128); g != w {
+			t.Fatalf("bits=%d spb=%d: generator states diverged: %+v vs %+v", c.bits, c.spb, g, w)
+		}
 	}
 }
 
