@@ -11,10 +11,22 @@ BENCH_PATTERN := Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo
 BENCH_PKGS    := ./internal/transient ./internal/core ./internal/image
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=3x -count=3
 
-.PHONY: test bench-delta bench-baseline
+.PHONY: test lint lint-list bench-delta bench-baseline
 
 test:
 	go build ./... && go test ./...
+
+# The repo-convention static analyzers (cmd/osclint): determinism,
+# oracle pairs, error propagation, map-iteration order, hot-loop
+# allocation. Fails on any unsuppressed finding — what CI's osclint
+# job runs.
+lint:
+	go run ./cmd/osclint ./...
+
+# Everything the analyzers see, suppressed findings included (with
+# their //osclint:ignore reasons), without failing the make.
+lint-list:
+	go run ./cmd/osclint -all -exitzero ./...
 
 # Record this machine's numbers and gate them against the committed
 # baseline — what CI's bench-delta job runs.

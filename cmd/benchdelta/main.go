@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -63,6 +64,9 @@ func main() {
 }
 
 func run(in, out, baseline string, threshold float64, update bool) error {
+	if math.IsNaN(threshold) || math.IsInf(threshold, 0) || threshold <= 0 {
+		return fmt.Errorf("threshold %v is not a positive fraction", threshold)
+	}
 	src := io.Reader(os.Stdin)
 	if in != "" {
 		f, err := os.Open(in)
@@ -72,7 +76,7 @@ func run(in, out, baseline string, threshold float64, update bool) error {
 		defer f.Close()
 		src = f
 	}
-	table, err := Parse(src)
+	table, err := Parse(src, os.Stdout)
 	if err != nil {
 		return err
 	}
@@ -103,14 +107,21 @@ func run(in, out, baseline string, threshold float64, update bool) error {
 }
 
 // Parse reads `go test -bench` output and keeps, per benchmark name,
-// the minimum ns/op (and its allocs/op) across repetitions.
-func Parse(r io.Reader) (Table, error) {
+// the minimum ns/op (and its allocs/op) across repetitions. Every
+// input line is echoed to echo (the CI log pass-through). Lines whose
+// ns/op column is missing, non-numeric, non-finite or non-positive are
+// skipped: strconv.ParseFloat accepts "NaN" and "Inf" without error,
+// and letting those into the table would make every later threshold
+// comparison silently false — a vacuously green gate.
+func Parse(r io.Reader, echo io.Writer) (Table, error) {
 	t := Table{Benchmarks: map[string]Result{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw output through for the CI log
+		if _, err := fmt.Fprintln(echo, line); err != nil {
+			return t, err
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
@@ -124,12 +135,13 @@ func Parse(r io.Reader) (Table, error) {
 			name = name[:i] // strip the -GOMAXPROCS suffix
 		}
 		ns, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(ns) || math.IsInf(ns, 0) || ns <= 0 {
 			continue
 		}
 		var allocs int64
 		for i := 4; i+1 < len(fields); i += 2 {
 			if fields[i+1] == "allocs/op" {
+				//osclint:ignore errprop a malformed allocs column keeps the informational default 0; only ns/op gates the run
 				allocs, _ = strconv.ParseInt(fields[i], 10, 64)
 			}
 		}
@@ -155,18 +167,25 @@ func Compare(w io.Writer, base, next Table, threshold float64) error {
 		b := base.Benchmarks[name]
 		n, ok := next.Benchmarks[name]
 		if !ok {
-			fmt.Fprintf(w, "MISSING  %-40s baseline %.0f ns/op, not in this run\n", name, b.NsPerOp)
+			if _, err := fmt.Fprintf(w, "MISSING  %-40s baseline %.0f ns/op, not in this run\n", name, b.NsPerOp); err != nil {
+				return err
+			}
 			failed++
 			continue
 		}
 		delta := n.NsPerOp/b.NsPerOp - 1
 		status := "ok      "
-		if delta > threshold {
+		// !(delta <= threshold) rather than delta > threshold: a NaN
+		// delta (corrupt baseline or run) must fail the gate, not slip
+		// through as vacuously ok.
+		if !(delta <= threshold) {
 			status = "REGRESS "
 			failed++
 		}
-		fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%), %d allocs/op\n",
-			status, name, b.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp)
+		if _, err := fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%), %d allocs/op\n",
+			status, name, b.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp); err != nil {
+			return err
+		}
 	}
 	var freshNames []string
 	for name := range next.Benchmarks {
@@ -177,16 +196,18 @@ func Compare(w io.Writer, base, next Table, threshold float64) error {
 	sort.Strings(freshNames)
 	fresh := len(freshNames)
 	for _, name := range freshNames {
-		fmt.Fprintf(w, "new      %-40s %12.0f ns/op (untracked; refresh the baseline to gate)\n",
-			name, next.Benchmarks[name].NsPerOp)
+		if _, err := fmt.Fprintf(w, "new      %-40s %12.0f ns/op (untracked; refresh the baseline to gate)\n",
+			name, next.Benchmarks[name].NsPerOp); err != nil {
+			return err
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d tracked benchmarks regressed past %.0f%% (or went missing)",
 			failed, len(names), threshold*100)
 	}
-	fmt.Fprintf(w, "all %d tracked benchmarks within %.0f%% of baseline (%d untracked)\n",
+	_, err := fmt.Fprintf(w, "all %d tracked benchmarks within %.0f%% of baseline (%d untracked)\n",
 		len(names), threshold*100, fresh)
-	return nil
+	return err
 }
 
 func writeJSON(path string, t Table) error {
@@ -208,6 +229,13 @@ func readJSON(path string) (Table, error) {
 	}
 	if len(t.Benchmarks) == 0 {
 		return t, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	// A zero, negative or non-finite baseline ns/op would poison every
+	// delta computed against it; refuse to gate on a corrupt baseline.
+	for name, r := range t.Benchmarks {
+		if math.IsNaN(r.NsPerOp) || math.IsInf(r.NsPerOp, 0) || r.NsPerOp <= 0 {
+			return t, fmt.Errorf("%s: benchmark %q has unusable baseline ns/op %v", path, name, r.NsPerOp)
+		}
 	}
 	return t, nil
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,11 +20,17 @@ BenchmarkNoAllocs-4      	     100	      1234 ns/op
 PASS
 `
 
-func TestParseKeepsMinAcrossCounts(t *testing.T) {
-	table, err := Parse(strings.NewReader(sample))
+func parse(t *testing.T, input string) Table {
+	t.Helper()
+	table, err := Parse(strings.NewReader(input), io.Discard)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("Parse: %v", err)
 	}
+	return table
+}
+
+func TestParseKeepsMinAcrossCounts(t *testing.T) {
+	table := parse(t, sample)
 	got, ok := table.Benchmarks["BenchmarkTrace"]
 	if !ok {
 		t.Fatalf("BenchmarkTrace missing: %+v", table)
@@ -33,6 +43,87 @@ func TestParseKeepsMinAcrossCounts(t *testing.T) {
 	}
 	if len(table.Benchmarks) != 3 {
 		t.Errorf("%d benchmarks parsed, want 3", len(table.Benchmarks))
+	}
+}
+
+// TestParseRejectsMalformedLines: missing columns, non-numeric,
+// non-finite and non-positive ns/op must all be skipped —
+// strconv.ParseFloat accepts "NaN" and "Inf" without error, and a NaN
+// in the table would make every later threshold comparison silently
+// false, turning the gate vacuously green.
+func TestParseRejectsMalformedLines(t *testing.T) {
+	table := parse(t, strings.Join([]string{
+		"BenchmarkTruncated-8",
+		"BenchmarkNoUnit-8  10  123456",
+		"BenchmarkWrongUnit-8  10  123456 MB/s",
+		"BenchmarkBadNumber-8  10  fast ns/op",
+		"BenchmarkNaN-8  10  NaN ns/op",
+		"BenchmarkInf-8  10  +Inf ns/op",
+		"BenchmarkZero-8  10  0 ns/op",
+		"BenchmarkNegative-8  10  -5 ns/op",
+	}, "\n"))
+	if len(table.Benchmarks) != 0 {
+		t.Errorf("malformed lines produced entries: %+v", table.Benchmarks)
+	}
+}
+
+// TestRunEmptyInput: a bench run that produced no benchmark lines
+// (e.g. a bad -bench regexp) must fail, not record or gate vacuously.
+func TestRunEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("goos: linux\nPASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(in, "", "", 0.30, false)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("run on empty bench output: err = %v, want no-benchmark-lines error", err)
+	}
+}
+
+func TestRunRejectsBadThreshold(t *testing.T) {
+	for _, thr := range []float64{0, -0.3, math.NaN(), math.Inf(1)} {
+		if err := run("", "", "", thr, false); err == nil {
+			t.Errorf("threshold %v accepted", thr)
+		}
+	}
+}
+
+func TestReadJSONRejectsCorruptBaselines(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"zero.json":     `{"benchmarks":{"BenchmarkX":{"ns_per_op":0,"allocs_per_op":0}}}`,
+		"negative.json": `{"benchmarks":{"BenchmarkX":{"ns_per_op":-12,"allocs_per_op":0}}}`,
+		"empty.json":    `{"benchmarks":{}}`,
+		"garbage.json":  `not json at all`,
+	}
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(cases[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readJSON(path); err == nil {
+			t.Errorf("%s: corrupt baseline accepted", name)
+		}
+	}
+	if _, err := readJSON(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+	// The committed baseline format still reads back.
+	good := filepath.Join(dir, "good.json")
+	if err := writeJSON(good, parse(t, sample)); err != nil {
+		t.Fatal(err)
+	}
+	table, err := readJSON(good)
+	if err != nil {
+		t.Fatalf("round-trip baseline rejected: %v", err)
+	}
+	if len(table.Benchmarks) != 3 {
+		t.Errorf("round-trip lost benchmarks: %+v", table)
 	}
 }
 
@@ -66,5 +157,16 @@ func TestCompareGates(t *testing.T) {
 	delete(next.Benchmarks, "BenchmarkB")
 	if err := Compare(&strings.Builder{}, base, next, 0.30); err == nil {
 		t.Error("missing tracked benchmark not gated")
+	}
+}
+
+// TestCompareNaNFailsClosed: even if a non-finite value reaches
+// Compare (belt and braces behind readJSON/Parse validation), the
+// gate fails rather than reporting vacuous ok.
+func TestCompareNaNFailsClosed(t *testing.T) {
+	base := Table{Benchmarks: map[string]Result{"BenchmarkA": {NsPerOp: math.NaN()}}}
+	next := Table{Benchmarks: map[string]Result{"BenchmarkA": {NsPerOp: 100}}}
+	if err := Compare(&strings.Builder{}, base, next, 0.30); err == nil {
+		t.Fatal("NaN baseline produced a passing gate")
 	}
 }

@@ -159,13 +159,17 @@ func run(w io.Writer, fig string, gridN, sweepN, workers int, timing bool) error
 			continue
 		}
 		any = true
-		fmt.Fprintf(w, "\n==== %s ====\n\n", f.title)
+		if _, err := fmt.Fprintf(w, "\n==== %s ====\n\n", f.title); err != nil {
+			return err
+		}
 		start := time.Now()
 		if err := f.render(w, gridN, sweepN); err != nil {
 			return err
 		}
 		if timing {
-			fmt.Fprintf(w, "[%s: %v]\n", f.key, time.Since(start).Round(time.Microsecond))
+			if _, err := fmt.Fprintf(w, "[%s: %v]\n", f.key, time.Since(start).Round(time.Microsecond)); err != nil {
+				return err
+			}
 		}
 	}
 	if !any {
@@ -182,12 +186,16 @@ func renderFig7A(w io.Writer, _, sweepN int) error {
 	if err := dse.RenderFig7A(w, series); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "\nn=2 curves (chart):")
+	if _, err := fmt.Fprintln(w, "\nn=2 curves (chart):"); err != nil {
+		return err
+	}
 	chartPts := core.NewEnergyModel(2).Sweep(0.11, 0.3, 48)
 	if err := dse.RenderEnergyChartASCII(w, chartPts, 96, 18, 70); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	profile, err := dse.ApplicationProfile()
 	if err != nil {
 		return err
@@ -199,7 +207,9 @@ func renderAblations(w io.Writer, _, _ int) error {
 	if err := dse.RenderRingSensitivity(w, dse.RingSensitivity([]float64{0.75, 1.0, 1.25, 1.5})); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	rows, err := dse.APDComparison(1e-6)
 	if err != nil {
 		return err
@@ -207,7 +217,9 @@ func renderAblations(w io.Writer, _, _ int) error {
 	if err := dse.RenderAPDComparison(w, rows, 1e-6); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	ps, err := dse.ParallelScaling([]int{1, 4, 16, 64}, 256)
 	if err != nil {
 		return err
@@ -215,16 +227,22 @@ func renderAblations(w io.Writer, _, _ int) error {
 	if err := dse.RenderParallelScaling(w, ps, 256); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	if err := core.MustCircuit(core.PaperParams()).ComputeLinkBudget().Render(w); err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	return renderYield(w)
 }
 
 func renderYield(w io.Writer) error {
-	fmt.Fprintln(w, "Monte-Carlo process variation (ring resonance σ, 200 dies, BER target 1e-6):")
+	if _, err := fmt.Fprintln(w, "Monte-Carlo process variation (ring resonance σ, 200 dies, BER target 1e-6):"); err != nil {
+		return err
+	}
 	p := core.PaperParams()
 	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
 	for _, sigma := range []float64{0.01, 0.05, 0.1, 0.2} {
@@ -344,8 +362,10 @@ func renderTradeoff(w io.Writer) error {
 		return err
 	}
 	sim := transient.NewSimulator(u, 8)
-	fmt.Fprintf(w, "probe sized for BER 1e-2: %.4f mW; analytic worst-case BER %.2e\n\n",
-		p.ProbePowerMW, sim.AnalyticWorstCaseBER())
+	if _, err := fmt.Fprintf(w, "probe sized for BER 1e-2: %.4f mW; analytic worst-case BER %.2e\n\n",
+		p.ProbePowerMW, sim.AnalyticWorstCaseBER()); err != nil {
+		return err
+	}
 	pts, err := sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096, 16384}, 30)
 	if err != nil {
 		return err

@@ -112,7 +112,16 @@
 //   - internal/transient — time-domain simulation with detector
 //     noise (the paper's future-work item ii);
 //   - internal/dse — regeneration of every evaluation figure;
-//   - internal/image — the gamma-correction application workload.
+//   - internal/image — the gamma-correction application workload;
+//   - internal/lint — the repo-convention static analyzers behind
+//     cmd/osclint and CI's osclint job.
+//
+// The reproduction disciplines above — derived seeds instead of wall
+// clocks, sorted map iteration before rendering, pinned X/XSerial
+// oracle pairs, propagated errors, allocation-free worker bodies —
+// are machine-enforced: `make lint` (cmd/osclint, stdlib-only go/ast +
+// go/types) fails CI on any unsuppressed violation, and intentional
+// exceptions carry //osclint:ignore annotations with reasons.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // the per-experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -47,7 +47,11 @@ func main() {
 	}
 
 	fmt.Println("\nenergy at the shared spacing vs each order's own optimum:")
-	for n, e := range rc.EnergyByOrder() {
+	// Walk the orders in rc.Orders() order, not map order: ranging the
+	// EnergyByOrder map directly shuffled the lines run to run.
+	energy := rc.EnergyByOrder()
+	for _, n := range rc.Orders() {
+		e := energy[n]
 		own, err := core.NewEnergyModel(n).OptimalSpacing(0.1, 0.3)
 		if err != nil {
 			log.Fatal(err)

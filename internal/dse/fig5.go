@@ -113,25 +113,25 @@ type Fig5CResult struct {
 }
 
 // Fig5C enumerates every (x-state, z-combination) of the paper
-// design, as plotted in Fig. 5(c).
+// design, as plotted in Fig. 5(c). The enumeration is a weight ×
+// pattern grid evaluated over the worker pool; Grid returns rows in
+// row-major order, so the table reads exactly as the serial loops did.
 func Fig5C() Fig5CResult {
 	c := core.MustCircuit(core.PaperParams())
 	n := c.P.Order
 	var res Fig5CResult
-	for weight := 0; weight <= n; weight++ {
-		for pattern := 0; pattern < 1<<(n+1); pattern++ {
-			z := make([]int, n+1)
-			for b := range z {
-				z[b] = (pattern >> b) & 1
-			}
-			res.Rows = append(res.Rows, Fig5CRow{
-				Weight:     weight,
-				Z:          z,
-				ReceivedMW: c.ReceivedPowerMW(weight, z),
-				Bit:        z[c.SelectedChannel(weight)],
-			})
+	res.Rows = Grid(n+1, 1<<(n+1), func(weight, pattern int) Fig5CRow {
+		z := make([]int, n+1)
+		for b := range z {
+			z[b] = (pattern >> b) & 1
 		}
-	}
+		return Fig5CRow{
+			Weight:     weight,
+			Z:          z,
+			ReceivedMW: c.ReceivedPowerMW(weight, z),
+			Bit:        z[c.SelectedChannel(weight)],
+		}
+	})
 	res.MinZero, res.MaxZero, res.MinOne, res.MaxOne = c.PowerBands()
 	return res
 }

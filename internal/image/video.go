@@ -135,3 +135,62 @@ func GammaVideoSerial(frames []*Gray, gamma float64, degree int, spacingNM float
 	}
 	return out, nil
 }
+
+// GammaVideoPerFrame is GammaVideo with decorrelated stochastic noise
+// across frames: frame i evaluates its LUT under the derived seed
+// DeriveSeed(seed, i), so quantization error is independent frame to
+// frame instead of frozen into one batch-wide pattern (the temporal
+// analogue of the per-pixel decorrelation study). The output for a
+// given (recipe, base seed, frame index) is still fully deterministic.
+//
+// Cache economics: the Bernstein coefficient fit depends only on
+// (gamma, degree) and is shared across all frame seeds through the
+// cache's GammaCoefCache, so the expensive fit happens once per batch;
+// each distinct frame index then memoizes its own 256-level table, so
+// replaying the batch (or a longer clip at the same base seed) hits
+// every LUT already built. Frames fan out over the worker pool; if
+// any fail, the error of the lowest failing frame is returned — a
+// deterministic choice, matching dse.SweepErr.
+func GammaVideoPerFrame(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+	if cache == nil {
+		cache = &GammaLUTCache{}
+	}
+	// Fit the shared coefficients before the fan-out so per-frame
+	// workers only ever build their own LUT.
+	if _, _, err := cache.coefs.GammaCorrection(gamma, degree); err != nil {
+		return nil, err
+	}
+	out := make([]*Gray, len(frames))
+	errs := make([]error, len(frames))
+	parallel.For(len(frames), func(i int) {
+		lut, err := cache.OpticalLUT(gamma, degree, spacingNM, streamLen, stochastic.DeriveSeed(seed, i))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		f := frames[i].Clone()
+		applyLUT(f, lut)
+		out[i] = f
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GammaVideoPerFrameSerial is the retained oracle for
+// GammaVideoPerFrame: one full GammaOptical build per frame under the
+// same derived seed, frames walked in order on the calling goroutine.
+func GammaVideoPerFrameSerial(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64) ([]*Gray, error) {
+	out := make([]*Gray, len(frames))
+	for i, f := range frames {
+		g, err := GammaOptical(f, gamma, degree, spacingNM, streamLen, stochastic.DeriveSeed(seed, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrProp flags discarded error returns in cmd/ and internal/ — the
+// PR 2 `oscspice` bug class, where evaluation errors were silently
+// swallowed and the tool exited zero on garbage. Both forms are
+// caught: blank assignments (`_ = f()`, `v, _ := f()` where the
+// blank slot is the error) and bare call statements whose results
+// include an error. `defer` and `go` statements are exempt (the
+// `defer f.Close()` idiom), as are fmt.Print* to stdout and methods
+// on strings.Builder / bytes.Buffer, which cannot fail.
+var ErrProp = &Analyzer{
+	Name: "errprop",
+	Doc:  "errors must propagate: no discarded error returns in cmd/ and internal/",
+	Run:  runErrProp,
+}
+
+func runErrProp(p *Package) []Finding {
+	if !p.IsCmd() && !p.IsInternal() {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || !returnsError(p, call) || allowedBare(p, call) {
+					return true
+				}
+				out = append(out, p.Findingf(s, "errprop",
+					"call discards its error result; propagate it or annotate why it cannot fail"))
+			case *ast.AssignStmt:
+				out = append(out, checkBlankAssign(p, s)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's results include the error
+// type.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if IsErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return IsErrorType(t)
+}
+
+// allowedBare lists the error-returning calls that are conventionally
+// fine as bare statements: printing to the process's own stdout or
+// stderr (the error is unactionable — the usage/exit boilerplate in
+// every main) and writes into in-memory buffers (defined to never
+// fail).
+func allowedBare(p *Package, call *ast.CallExpr) bool {
+	callee := p.Callee(call)
+	if callee == nil {
+		return false
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		switch callee.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isOSStdStream(p, call.Args[0]) {
+				return true
+			}
+		}
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		name := recv.String()
+		if strings.HasSuffix(name, "strings.Builder") || strings.HasSuffix(name, "bytes.Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// isOSStdStream reports whether the expression is os.Stderr or
+// os.Stdout.
+func isOSStdStream(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stderr" || obj.Name() == "Stdout"
+}
+
+// checkBlankAssign flags blank identifiers bound to error values.
+func checkBlankAssign(p *Package, s *ast.AssignStmt) []Finding {
+	var out []Finding
+	flag := func(n ast.Node) {
+		out = append(out, p.Findingf(n, "errprop",
+			"error result assigned to _; propagate it or annotate why it is safe to drop"))
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// v, _ := f() — match blank slots against the call's tuple.
+		tuple, ok := p.Info.TypeOf(s.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" &&
+				i < tuple.Len() && IsErrorType(tuple.At(i).Type()) {
+				flag(s)
+			}
+		}
+		return out
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && IsErrorType(p.Info.TypeOf(s.Rhs[i])) {
+			flag(s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotAlloc supports the ROADMAP zero-alloc push: inside a closure
+// handed to parallel.For/ForWorker/Run, per-item `make` calls,
+// growing `append`s, and fmt.Sprint* formatting multiply allocations
+// by the item count. The fix is the ForWorker per-worker scratch
+// pattern (O(workers) allocations, see image.RobertsCrossSC) or
+// hoisting the buffer outside the fan-out. Results that must be
+// written per item (`out[i] = ...`) are unaffected — only fresh
+// allocations inside the body are flagged.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-item make/append-growth/fmt.Sprint* inside parallel worker bodies; use per-worker scratch",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.Callee(call)
+			if callee == nil || !pkgSuffixIs(callee, "internal/parallel") {
+				return true
+			}
+			switch callee.Name() {
+			case "For", "ForWorker", "Run":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					out = append(out, checkHotBody(p, fl)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkHotBody(p *Package, fl *ast.FuncLit) []Finding {
+	var out []Finding
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isBuiltin(p, call, "make"):
+			out = append(out, p.Findingf(call, "hotalloc",
+				"make inside a parallel worker body allocates per item; "+
+					"hoist into per-worker scratch (parallel.ForWorker worker index)"))
+		case isBuiltin(p, call, "append"):
+			out = append(out, p.Findingf(call, "hotalloc",
+				"append inside a parallel worker body may grow per item; "+
+					"pre-size the destination or use per-worker scratch"))
+		default:
+			callee := p.Callee(call)
+			if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+				switch callee.Name() {
+				case "Sprintf", "Sprint", "Sprintln", "Errorf":
+					out = append(out, p.Findingf(call, "hotalloc",
+						"fmt.%s inside a parallel worker body allocates per item; "+
+							"format outside the fan-out or into per-worker scratch", callee.Name()))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

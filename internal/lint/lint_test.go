@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const errpropFixture = "internal/lint/testdata/src/errprop"
+
+// TestSuppressionFiltering pins the Options.All contract: a valid
+// //osclint:ignore hides its finding from a default run but keeps it,
+// marked with the annotation's reason, under All.
+func TestSuppressionFiltering(t *testing.T) {
+	root := moduleRoot(t)
+	suppressedLine := 55 // the ParseInt drop in GoodSuppressed
+
+	def, err := Run(root, []string{errpropFixture}, Options{Rules: []string{"errprop"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range def {
+		if f.Suppressed || f.Pos.Line == suppressedLine {
+			t.Errorf("default run leaked suppressed finding: %s", f)
+		}
+	}
+
+	all, err := Run(root, []string{errpropFixture}, Options{Rules: []string{"errprop"}, All: true})
+	if err != nil {
+		t.Fatalf("Run(All): %v", err)
+	}
+	if len(all) != len(def)+1 {
+		t.Fatalf("All run returned %d findings, want %d (default %d + 1 suppressed)",
+			len(all), len(def)+1, len(def))
+	}
+	found := false
+	for _, f := range all {
+		if f.Pos.Line == suppressedLine {
+			found = true
+			if !f.Suppressed {
+				t.Errorf("finding at line %d not marked suppressed: %s", suppressedLine, f)
+			}
+			if !strings.Contains(f.Reason, "documented fallback") {
+				t.Errorf("suppression reason not carried through: %q", f.Reason)
+			}
+			if !strings.Contains(f.String(), "(suppressed:") {
+				t.Errorf("String() omits suppression marker: %s", f.String())
+			}
+		}
+	}
+	if !found {
+		t.Errorf("All run missing the suppressed finding at line %d", suppressedLine)
+	}
+}
+
+// TestMalformedIgnore pins that a reasonless directive is reported
+// under the "ignore" pseudo-rule and does NOT suppress its target.
+func TestMalformedIgnore(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := Run(root, []string{"internal/lint/testdata/src/ignorebad"}, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var gotIgnore, gotErrprop bool
+	for _, f := range findings {
+		switch f.Rule {
+		case "ignore":
+			gotIgnore = true
+			if !strings.Contains(f.Message, "reason is mandatory") {
+				t.Errorf("ignore finding message: %q", f.Message)
+			}
+		case "errprop":
+			gotErrprop = true
+		}
+	}
+	if !gotIgnore {
+		t.Error("reasonless //osclint:ignore not reported under the ignore pseudo-rule")
+	}
+	if !gotErrprop {
+		t.Error("malformed suppression wrongly hid the errprop finding it annotates")
+	}
+}
+
+// TestUnknownRule pins the -rules error path.
+func TestUnknownRule(t *testing.T) {
+	root := moduleRoot(t)
+	_, err := Run(root, []string{errpropFixture}, Options{Rules: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown rule "nope"`) {
+		t.Fatalf("Run with bogus rule: err = %v, want unknown-rule error", err)
+	}
+}
+
+// TestWriteJSON round-trips a finding through the -json wire form.
+func TestWriteJSON(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := Run(root, []string{errpropFixture},
+		Options{Rules: []string{"errprop"}, All: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Rule       string `json:"rule"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+		Reason     string `json:"reason"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("decoded %d findings, want %d", len(decoded), len(findings))
+	}
+	for i, d := range decoded {
+		f := findings[i]
+		if d.File != f.Pos.Filename || d.Line != f.Pos.Line || d.Col != f.Pos.Column ||
+			d.Rule != f.Rule || d.Message != f.Message ||
+			d.Suppressed != f.Suppressed || d.Reason != f.Reason {
+			t.Errorf("finding %d: JSON %+v does not match %+v", i, d, f)
+		}
+	}
+}
+
+// TestExpandPatternsSkipsTestdata pins that the recursive walk skips
+// testdata trees — the fixtures' deliberate violations must never leak
+// into an `osclint ./...` run.
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	root := moduleRoot(t)
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("ExpandPatterns matched nothing")
+	}
+	sep := string(filepath.Separator)
+	for _, d := range dirs {
+		if strings.Contains(d, sep+"testdata"+sep) || strings.HasSuffix(d, sep+"testdata") {
+			t.Errorf("walk descended into testdata: %s", d)
+		}
+	}
+	// A non-recursive pattern names one package directory directly.
+	one, err := ExpandPatterns(root, []string{"cmd/osclint"})
+	if err != nil {
+		t.Fatalf("ExpandPatterns(cmd/osclint): %v", err)
+	}
+	if len(one) != 1 || one[0] != filepath.Join(root, "cmd", "osclint") {
+		t.Errorf("ExpandPatterns(cmd/osclint) = %v", one)
+	}
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags the renderer-nondeterminism bug class caught at
+// runtime by PR 5's CI smoke diff (optics.RenderSpectrumASCII): a
+// `range` over a map whose body feeds ordered output — appending to a
+// slice, writing to an io.Writer, sending on a channel, or building a
+// string — leaks Go's randomized iteration order into results unless
+// the keys are collected and sorted first. The collect-then-sort
+// idiom passes: an append-only body is clean when the destination
+// slice is passed to a sort.* / slices.Sort* call later in the same
+// enclosing block.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map iteration feeding ordered output must sort: collect keys, sort, then emit",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		walkStmtLists(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				out = append(out, checkMapRange(p, rs, list[i+1:])...)
+			}
+		})
+	}
+	return out
+}
+
+// walkStmtLists invokes fn on every statement list in the file —
+// block bodies, case clauses, comm clauses — so a range statement can
+// be analyzed against the statements that follow it in its own block.
+func walkStmtLists(f *ast.File, fn func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			fn(s.List)
+		case *ast.CaseClause:
+			fn(s.Body)
+		case *ast.CommClause:
+			fn(s.Body)
+		}
+		return true
+	})
+}
+
+// mapSinks classifies order-sensitive effects inside a map-range body.
+type mapSinks struct {
+	// writes are sinks whose ordering escapes immediately: io.Writer /
+	// fmt.Fprint calls, channel sends, string concatenation, table
+	// row appends.
+	writes []ast.Node
+	// appends records destination slice objects with their first
+	// append site, in source order; these are fixable by a later sort.
+	appends []appendSink
+}
+
+type appendSink struct {
+	obj  types.Object
+	site ast.Node
+}
+
+// orderedSinkMethods are method names treated as ordered-output sinks
+// when called inside a map range: io.Writer implementations and the
+// repo's table/chart builders.
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddRowf": true, "Render": true,
+}
+
+func checkMapRange(p *Package, rs *ast.RangeStmt, rest []ast.Stmt) []Finding {
+	sinks := collectMapSinks(p, rs.Body)
+	var out []Finding
+	for _, w := range sinks.writes {
+		out = append(out, p.Findingf(w, "mapiter",
+			"ordered output inside map iteration: map order is randomized per run; "+
+				"collect keys, sort, then emit"))
+	}
+	for _, a := range sinks.appends {
+		if sortedAfter(p, rest, a.obj) {
+			continue
+		}
+		out = append(out, p.Findingf(a.site, "mapiter",
+			"slice %q built from map iteration is never sorted afterwards in this block; "+
+				"sort it (or the keys) before the order can leak", a.obj.Name()))
+	}
+	return out
+}
+
+func collectMapSinks(p *Package, body *ast.BlockStmt) mapSinks {
+	var sinks mapSinks
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			sinks.writes = append(sinks.writes, s)
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+				if t := p.Info.TypeOf(s.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						sinks.writes = append(sinks.writes, s)
+					}
+				}
+			}
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(p, call, "append") || i >= len(s.Lhs) {
+					continue
+				}
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					if obj := p.objectOf(id); obj != nil {
+						if !seen[obj] {
+							seen[obj] = true
+							sinks.appends = append(sinks.appends, appendSink{obj, call})
+						}
+						continue
+					}
+				}
+				sinks.writes = append(sinks.writes, call)
+			}
+		case *ast.CallExpr:
+			if callee := p.Callee(s); callee != nil && callee.Pkg() != nil {
+				if callee.Pkg().Path() == "fmt" && (callee.Name() == "Fprint" || callee.Name() == "Fprintf" ||
+					callee.Name() == "Fprintln" || callee.Name() == "Print" || callee.Name() == "Printf" ||
+					callee.Name() == "Println") {
+					sinks.writes = append(sinks.writes, s)
+					return true
+				}
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+					orderedSinkMethods[callee.Name()] {
+					sinks.writes = append(sinks.writes, s)
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or
+// slices.Sort* call in the statements following the range loop.
+func sortedAfter(p *Package, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.Callee(call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if pkg := callee.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				argFound := false
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && p.objectOf(id) == obj {
+						argFound = true
+					}
+					return !argFound
+				})
+				if argFound {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// objectOf resolves an identifier through both uses and defs (`:=`
+// introduces the object in Defs, later writes land in Uses).
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}

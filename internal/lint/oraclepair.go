@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// OraclePair enforces the repo's oracle discipline: every exported
+// word-parallel engine X with a retained bit-serial sibling XSerial
+// must be pinned by a _test.go file in the same package that
+// references both identifiers — the equivalence test that keeps the
+// pair bit-identical. Without it a new engine can land "paired" with
+// an oracle nothing ever compares against.
+var OraclePair = &Analyzer{
+	Name: "oraclepair",
+	Doc:  "every X/XSerial engine pair needs a test referencing both (the equivalence pin)",
+	Run:  runOraclePair,
+}
+
+func runOraclePair(p *Package) []Finding {
+	if !p.IsInternal() {
+		return nil
+	}
+	// Exported top-level functions and methods, by name.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.IsExported() {
+				if _, seen := decls[fd.Name.Name]; !seen {
+					decls[fd.Name.Name] = fd
+				}
+			}
+		}
+	}
+	var out []Finding
+	names := make([]string, 0, len(decls))
+	for name := range decls {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic report order
+	for _, name := range names {
+		base, isSerial := strings.CutSuffix(name, "Serial")
+		if !isSerial || base == "" || !ast.IsExported(base) {
+			continue
+		}
+		if _, ok := decls[base]; !ok {
+			continue
+		}
+		if pairTested(p, base, name) {
+			continue
+		}
+		out = append(out, p.Findingf(decls[name].Name, "oraclepair",
+			"oracle pair %s/%s has no test referencing both; add an equivalence test pinning them bit-identical",
+			base, name))
+	}
+	return out
+}
+
+// pairTested reports whether a single test file references both
+// identifiers.
+func pairTested(p *Package, base, serial string) bool {
+	for _, tf := range p.TestFiles {
+		if referencesName(tf, base) && referencesName(tf, serial) {
+			return true
+		}
+	}
+	return false
+}
+
+func referencesName(f *ast.File, name string) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

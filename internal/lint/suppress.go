@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//osclint:ignore rule[,rule...] reason text
+//
+// A suppression covers findings of the named rules on the comment's
+// own line (trailing form) or on the next line (standalone form).
+// The reason is mandatory: an ignore with no justification is itself
+// reported under the "ignore" pseudo-rule, so annotations document
+// *why* a convention is intentionally broken, never just that it is.
+
+const ignorePrefix = "osclint:ignore"
+
+type suppression struct {
+	rules  []string
+	reason string
+}
+
+// suppressions maps "file:line" of the suppressing comment to its
+// parsed directive.
+type suppressions map[string][]suppression
+
+// covers reports whether f is covered by a suppression on its line or
+// the line above, returning the annotation's reason.
+func (s suppressions) covers(f Finding) (string, bool) {
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		key := posKey(f.Pos.Filename, line)
+		for _, sup := range s[key] {
+			for _, r := range sup.rules {
+				if r == f.Rule || r == "all" {
+					return sup.reason, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// scanSuppressions walks every file's comments (tests included) for
+// osclint:ignore directives. Malformed directives — no rule, or no
+// reason — come back as findings.
+func scanSuppressions(p *Package) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	files := make([]*ast.File, 0, len(p.Files)+len(p.TestFiles))
+	files = append(files, p.Files...)
+	files = append(files, p.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				rules, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := p.Fset.Position(c.Pos())
+				if rules == "" || reason == "" {
+					bad = append(bad, Finding{
+						Pos:  pos,
+						Rule: "ignore",
+						Message: "malformed suppression: want //osclint:ignore rule[,rule] reason " +
+							"(the reason is mandatory)",
+					})
+					continue
+				}
+				// Anchor to the comment's END line: a trailing comment
+				// suppresses its own line, a standalone one the next.
+				end := p.Fset.Position(c.End())
+				key := posKey(end.Filename, end.Line)
+				sup[key] = append(sup[key], suppression{
+					rules:  strings.Split(rules, ","),
+					reason: reason,
+				})
+			}
+		}
+	}
+	return sup, bad
+}

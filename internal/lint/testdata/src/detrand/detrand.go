@@ -1,0 +1,76 @@
+// Package detrand is an analyzer fixture: deliberate violations of
+// the determinism rule, marked with `// want <rule>` comments, next
+// to the conforming patterns the rule must not flag.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/stochastic"
+)
+
+// BadWallClockSeed seeds a worker RNG from the wall clock: both the
+// time.Now use and the underived constructor are violations.
+func BadWallClockSeed(n int) []float64 {
+	out := make([]float64, n)
+	parallel.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(uint64(time.Now().UnixNano())) // want detrand detrand
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// BadSharedSeed constructs a per-item RNG from the item index without
+// DeriveSeed — correlated streams across items.
+func BadSharedSeed(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	parallel.ForWorker(n, 0, func(_, i int) {
+		rng := stochastic.NewSplitMix64(seed + uint64(i)) // want detrand
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// BadGlobalRand draws from the process-global math/rand source.
+func BadGlobalRand() float64 {
+	return rand.Float64() // want detrand
+}
+
+// GoodDirect derives the per-item seed in the closure body.
+func GoodDirect(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	parallel.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(stochastic.DeriveSeed(seed, i))
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// itemSeed is the seed-helper pattern (trialSeeds, waterfallSeeds):
+// the closure calls it, and it derives through DeriveSeed.
+func itemSeed(base uint64, i int) uint64 {
+	return stochastic.DeriveSeed(base, i)
+}
+
+// GoodHelper derives through a same-package helper.
+func GoodHelper(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	parallel.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(itemSeed(seed, i))
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// GoodSerial constructs its RNG outside any worker closure — the
+// serial-oracle pattern, not flagged.
+func GoodSerial(n int, seed uint64) []float64 {
+	rng := stochastic.NewSplitMix64(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Next()
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package errprop is an analyzer fixture: discarded error returns
+// (the oscspice bug class), next to the exempt forms and a suppressed
+// intentional drop.
+package errprop
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func compute() (float64, error) { return 0, nil }
+
+func emit() error { return nil }
+
+// BadBlank discards the error of a single-result call.
+func BadBlank() {
+	_ = emit() // want errprop
+}
+
+// BadTupleBlank discards the error slot of a multi-assign.
+func BadTupleBlank() float64 {
+	v, _ := compute() // want errprop
+	return v
+}
+
+// BadBare drops the error of a bare call statement.
+func BadBare() {
+	emit() // want errprop
+}
+
+// GoodChecked propagates.
+func GoodChecked() error {
+	if _, err := compute(); err != nil {
+		return err
+	}
+	return emit()
+}
+
+// GoodExempt exercises every allowlisted form: stdout/stderr
+// prints, in-memory buffer writes, and deferred cleanup.
+func GoodExempt(f *os.File) string {
+	fmt.Println("stdout is exempt")
+	fmt.Fprintln(os.Stderr, "stderr is exempt")
+	var sb strings.Builder
+	sb.WriteString("builders never fail")
+	defer f.Close()
+	return sb.String()
+}
+
+// GoodSuppressed documents an intentional drop in place.
+func GoodSuppressed(s string) int64 {
+	//osclint:ignore errprop fixture: the zero default is the documented fallback for malformed input
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}

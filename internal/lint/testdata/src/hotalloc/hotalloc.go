@@ -1,0 +1,42 @@
+// Package hotalloc is an analyzer fixture: per-item allocation inside
+// parallel worker bodies, next to the per-worker scratch pattern that
+// must pass.
+package hotalloc
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// BadPerItem allocates and formats once per item.
+func BadPerItem(n int) []string {
+	out := make([]string, n)
+	parallel.For(n, func(i int) {
+		buf := make([]byte, 64)       // want hotalloc
+		out[i] = fmt.Sprintf("%d", i) // want hotalloc
+		var tail []byte
+		tail = append(tail, buf[:8]...) // want hotalloc
+		_ = tail
+	})
+	return out
+}
+
+// GoodScratch is the ForWorker pattern: one scratch buffer per
+// worker, sized before the fan-out.
+func GoodScratch(n, workers int) []int {
+	if workers < 1 {
+		workers = parallel.Workers(n)
+	}
+	scratch := make([][]byte, workers)
+	for w := range scratch {
+		scratch[w] = make([]byte, 64)
+	}
+	out := make([]int, n)
+	parallel.ForWorker(n, workers, func(worker, i int) {
+		buf := scratch[worker]
+		buf[0] = byte(i)
+		out[i] = int(buf[0])
+	})
+	return out
+}

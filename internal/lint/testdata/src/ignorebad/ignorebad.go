@@ -1,0 +1,12 @@
+// Package ignorebad is an analyzer fixture: suppression directives
+// with no reason are themselves findings.
+package ignorebad
+
+func emit() error { return nil }
+
+// BadNoReason suppresses without justifying — reported under the
+// "ignore" pseudo-rule, and the suppression does not take effect.
+func BadNoReason() {
+	//osclint:ignore errprop
+	_ = emit()
+}

@@ -1,0 +1,66 @@
+// Package mapiter is an analyzer fixture: map-iteration order leaking
+// into ordered output (the RenderSpectrumASCII bug class), next to
+// the collect-then-sort idiom that must pass.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadWrite renders rows straight out of map order.
+func BadWrite(w io.Writer, series map[string]float64) {
+	for name, v := range series {
+		fmt.Fprintf(w, "%s: %v\n", name, v) // want mapiter
+	}
+}
+
+// BadAppend collects keys but never sorts them.
+func BadAppend(series map[string]float64) []string {
+	var names []string
+	for name := range series {
+		names = append(names, name) // want mapiter
+	}
+	return names
+}
+
+// BadString builds a string in map order.
+func BadString(series map[string]float64) string {
+	s := ""
+	for name := range series {
+		s += name // want mapiter
+	}
+	return s
+}
+
+// BadSend leaks map order into a channel.
+func BadSend(ch chan string, series map[string]float64) {
+	for name := range series {
+		ch <- name // want mapiter
+	}
+}
+
+// GoodCollectSort is the idiom the repo's renderers use: collect,
+// sort, then emit.
+func GoodCollectSort(w io.Writer, series map[string]float64) {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s: %v\n", name, series[name])
+	}
+}
+
+// GoodReduce computes an order-independent reduction.
+func GoodReduce(series map[string]float64) float64 {
+	max := 0.0
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

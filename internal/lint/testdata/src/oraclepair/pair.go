@@ -1,0 +1,29 @@
+// Package oraclepair is an analyzer fixture: an X/XSerial engine pair
+// with no equivalence test (flagged) next to a properly pinned pair.
+package oraclepair
+
+// Unpinned is a word-parallel engine...
+func Unpinned(n int) int { return n * 2 }
+
+// UnpinnedSerial is its retained oracle — but no test references the
+// pair, so nothing keeps them bit-identical.
+func UnpinnedSerial(n int) int { // want oraclepair
+	acc := 0
+	for i := 0; i < 2; i++ {
+		acc += n
+	}
+	return acc
+}
+
+// Pinned is a word-parallel engine with a proper equivalence test.
+func Pinned(n int) int { return n * 3 }
+
+// PinnedSerial is its oracle, referenced together with Pinned from
+// pair_test.go.
+func PinnedSerial(n int) int {
+	acc := 0
+	for i := 0; i < 3; i++ {
+		acc += n
+	}
+	return acc
+}
