@@ -6,10 +6,13 @@ SHELL       := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 # The benchmarks tracked by CI's bench-delta job (cmd/benchdelta):
-# the PR 5 word-parallel rewrites, serial oracles included.
-BENCH_PATTERN := Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo
-BENCH_PKGS    := ./internal/transient ./internal/core ./internal/image
-BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=3x -count=3
+# the engine-dispatched paths (one per package), serial engines
+# included so the dispatch overhead stays visible.
+BENCH_PATTERN := Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo|SweepEngine
+BENCH_PKGS    := ./internal/transient ./internal/core ./internal/image ./internal/dse
+# 10 iterations per count: at 3x, run-to-run scheduler jitter on a
+# small runner exceeds the 30% gate and the delta measures noise.
+BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x -count=3
 
 .PHONY: test lint lint-list bench-delta bench-baseline
 

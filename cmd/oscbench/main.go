@@ -17,10 +17,13 @@
 //	oscbench -fig video        # gamma video batch (cross-frame LUT cache)
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
 //
-// Every sweep runs on the deterministic parallel engine in
-// internal/dse, so figures are identical at any worker count:
+// Every sweep dispatches on a deterministic evaluation engine
+// (internal/engine), so figures are identical on any engine at any
+// worker count:
 //
-//	oscbench -workers 4        # cap the worker pool at 4
+//	oscbench -engine serial    # run every sweep on the serial engine
+//	oscbench -engine parallel  # run on the word-parallel engine (default)
+//	oscbench -workers 4        # cap the parallel worker pool at 4
 //	oscbench -timing           # print per-figure wall time
 //	oscbench -grid 12          # denser Fig 6(a) grid (>= 2)
 //	oscbench -sweep 21         # denser Fig 7(a) spacing sweep (>= 2)
@@ -32,10 +35,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/engine"
 	img "repro/internal/image"
 	"repro/internal/stochastic"
 	"repro/internal/transient"
@@ -46,9 +51,20 @@ func main() {
 	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a) (>= 2)")
 	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a) (>= 2)")
 	workers := flag.Int("workers", 0, "cap the parallel worker pool (0 = all cores)")
+	engName := flag.String("engine", "", "evaluation engine for every sweep ("+strings.Join(engine.Names(), ", ")+"; default: "+engine.Default().Name()+")")
 	timing := flag.Bool("timing", false, "print per-figure wall time")
 	flag.Parse()
 
+	if *engName != "" {
+		e, err := engine.Get(*engName)
+		if err == nil {
+			err = engine.SetDefault(e)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oscbench:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(os.Stdout, *fig, *gridN, *sweepN, *workers, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "oscbench:", err)
 		os.Exit(1)

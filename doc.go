@@ -25,6 +25,22 @@
 // are reproducible on any core count. The gamma-correction LUTs,
 // sweeps and oscbench all run through the batch engine.
 //
+// Every measurement and sweep on top of those primitives dispatches
+// through a pluggable engine layer (internal/engine). An Engine says
+// how independent work items run — engine.Serial in index order on
+// the calling goroutine, engine.WordParallel over the
+// internal/parallel pool — and every sweep-shaped entry point has an
+// explicit-engine form (AccuracyVsLengthOn, RobertsCrossSCOn,
+// SweepOn, OptimalSpacingOn, ...): the bare name X runs on the
+// process-default engine (engine.Default, word-parallel; swap it with
+// engine.SetDefault or `oscbench -engine serial`), and each retained
+// XSerial oracle is a one-line shim on engine.Serial rather than a
+// parallel code copy. Cross-engine bit-equivalence and
+// GOMAXPROCS-independence are pinned by one generic suite,
+// internal/engine/enginetest: each package registers its engine entry
+// points as enginetest cases, replayed on every registered engine at
+// GOMAXPROCS 1 and 4 against the engine.Serial reference.
+//
 // The noise-aware transient path is word-parallel too: the received
 // power is a pure function of (weight, z-mask), so
 // core.Unit.EvaluateNoisy resolves 64 noisy threshold decisions per
@@ -34,12 +50,13 @@
 // streams bit-identical to the serial Step loop;
 // transient.Simulator.EvaluateBatch and the dse.NoiseStudy
 // Monte-Carlo harness (oscbench -fig noise) fan per-trial seeds over
-// the same worker pool. The transient measurements follow suit, each
-// with a retained serial oracle: Trace and MeasureEye decode 64
+// the same worker pool. The transient measurements follow suit, each an
+// engine-dispatched entry point (TraceOn, MeasureEyeOn, SyncSweepOn,
+// BERWaterfallOn, AccuracyVsLengthOn): Trace and MeasureEye decode 64
 // cycles per word (core.Unit.Cycles) with block noise, and
 // SyncSweep, BERWaterfall (oscbench -fig waterfall) and
-// AccuracyVsLength fan their points and trials over the pool with
-// derived seeds — bit-identical to their ...Serial oracles at any
+// AccuracyVsLength fan their points and trials over the selected
+// engine with derived seeds — bit-identical across engines at any
 // GOMAXPROCS. Quickstart:
 //
 //	sim := transient.NewSimulator(u, 2)
@@ -83,8 +100,9 @@
 // and the packed engines stop re-evaluating ring Lorentzians per
 // state. Even the golden-section spacing search
 // (core.EnergyModel.OptimalSpacing) fans its bracketing grid scan —
-// the ~60 independent design solves that dominate it — over the pool,
-// bit-identical to its serial oracle. CI tracks the speed itself: the
+// the ~60 independent design solves that dominate it — over the
+// engine in contiguous chunks (engine.Chunked), so dispatch overhead
+// no longer eats the fan-out win, bit-identical to its serial shim. CI tracks the speed itself: the
 // bench-delta job records the tentpole benchmarks as BENCH_PR5.json
 // and gates them against the committed BENCH_BASELINE.json (refresh
 // with `make bench-baseline`, see cmd/benchdelta). Quickstart:
@@ -105,6 +123,9 @@
 //     word-parallel evaluation engine;
 //   - internal/parallel — the worker-pool primitive behind the batch
 //     evaluators;
+//   - internal/engine — the pluggable evaluation-engine layer
+//     (Serial, WordParallel, registry, chunked dispatch) and its
+//     enginetest cross-engine equivalence suite;
 //   - internal/core — the optical SC architecture: transmission model
 //     (Eqs. 5–7), SNR/BER (Eqs. 8–9), MRR-first and MZI-first design
 //     methods, the pulsed-pump energy model and a reconfigurable
@@ -118,7 +139,8 @@
 //
 // The reproduction disciplines above — derived seeds instead of wall
 // clocks, sorted map iteration before rendering, pinned X/XSerial
-// oracle pairs, propagated errors, allocation-free worker bodies —
+// oracle pairs, engine entry points registered in the cross-engine
+// enginetest suite, propagated errors, allocation-free worker bodies —
 // are machine-enforced: `make lint` (cmd/osclint, stdlib-only go/ast +
 // go/types) fails CI on any unsuppressed violation, and intentional
 // exceptions carry //osclint:ignore annotations with reasons.

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/numeric"
 	"repro/internal/optics"
-	"repro/internal/parallel"
 )
 
 // EnergyBreakdown is the per-computed-bit laser energy of a design,
@@ -102,20 +102,22 @@ func ParamsEnergy(p Params) EnergyBreakdown {
 	}
 }
 
-// Sweep evaluates the breakdown across a spacing range, skipping
+// SweepOn evaluates the breakdown across a spacing range, skipping
 // infeasible points (closed eye). It returns one row per feasible
 // spacing — the data series of Fig. 7(a). Every point is an
-// independent MRR-first solve, so the grid fans out over the
-// internal/parallel worker pool and is filtered back in index order —
-// identical results at any GOMAXPROCS.
-func (m EnergyModel) Sweep(loNM, hiNM float64, points int) []EnergyBreakdown {
+// independent MRR-first solve dispatched on the given engine and
+// filtered back in index order — identical results on every
+// conforming engine at any GOMAXPROCS. A nil engine panics (this
+// entry point has no error return).
+func (m EnergyModel) SweepOn(e engine.Engine, loNM, hiNM float64, points int) []EnergyBreakdown {
+	engine.Use(e)
 	if points < 2 {
 		points = 2
 	}
 	ws := numeric.Linspace(loNM, hiNM, points)
 	rows := make([]EnergyBreakdown, len(ws))
 	feasible := make([]bool, len(ws))
-	parallel.For(len(ws), func(i int) {
+	e.For(len(ws), func(i int) {
 		b, err := m.Breakdown(ws[i])
 		rows[i], feasible[i] = b, err == nil
 	})
@@ -128,12 +130,24 @@ func (m EnergyModel) Sweep(loNM, hiNM float64, points int) []EnergyBreakdown {
 	return out
 }
 
+// Sweep is SweepOn on the process-default engine.
+func (m EnergyModel) Sweep(loNM, hiNM float64, points int) []EnergyBreakdown {
+	return m.SweepOn(engine.Default(), loNM, hiNM, points)
+}
+
 // optimalGridN and optimalTolNM are the bracketing-scan resolution and
-// golden-section tolerance shared by OptimalSpacing and its serial
-// oracle.
+// golden-section tolerance of the spacing search; optimalChunkPts is
+// the minimum number of bracketing-grid points per dispatched chunk.
+// One grid solve is a few microseconds — comparable to per-item
+// dispatch overhead, which is why the point-per-item fan-out used to
+// lose to the serial walk (ROADMAP item 4) — so points are dispatched
+// in contiguous chunks of at least 16: the 61-point scan costs at most
+// four dispatches, and on a one-worker engine engine.Chunked degrades
+// to the pure inline walk.
 const (
-	optimalGridN = 60
-	optimalTolNM = 1e-4
+	optimalGridN    = 60
+	optimalTolNM    = 1e-4
+	optimalChunkPts = 16
 )
 
 // energyObjective is the total-energy objective of the spacing search:
@@ -146,28 +160,36 @@ func (m EnergyModel) energyObjective(w float64) float64 {
 	return b.TotalPJ()
 }
 
-// OptimalSpacing minimizes the total laser energy over [loNM, hiNM]
+// OptimalSpacingOn minimizes the total laser energy over [loNM, hiNM]
 // and returns the optimum spacing with its breakdown. Infeasible
 // spacings are treated as infinitely expensive. It returns an error
-// if no spacing in the range is feasible.
+// if no spacing in the range is feasible, or if the engine is nil.
 //
 // The search runs in two stages. The bracketing pre-pass — the ~60
-// independent Breakdown solves that dominate the serial search — fans
-// its grid points over the internal/parallel worker pool and reduces
-// them in index order with numeric.GridMinimize's exact selection
-// rule. Only the golden-section refinement inside the winning bracket
-// stays sequential (each probe depends on the last), so the result is
-// bit-identical to OptimalSpacingSerial at any GOMAXPROCS.
-func (m EnergyModel) OptimalSpacing(loNM, hiNM float64) (EnergyBreakdown, error) {
+// independent Breakdown solves that dominate the serial search — is
+// dispatched on the given engine in contiguous chunks of at least
+// optimalChunkPts points (engine.Chunked) and reduced in index order
+// with numeric.GridMinimize's exact selection rule. Only the
+// golden-section refinement inside the winning bracket stays
+// sequential (each probe depends on the last), so the result is
+// bit-identical on every conforming engine at any GOMAXPROCS.
+func (m EnergyModel) OptimalSpacingOn(e engine.Engine, loNM, hiNM float64) (EnergyBreakdown, error) {
+	if err := engine.Check(e); err != nil {
+		return EnergyBreakdown{}, err
+	}
 	gridX := func(i int) float64 {
 		return loNM + (hiNM-loNM)*float64(i)/float64(optimalGridN)
 	}
 	fs := make([]float64, optimalGridN+1)
-	parallel.For(len(fs), func(i int) { fs[i] = m.energyObjective(gridX(i)) })
+	engine.Chunked(e, len(fs), optimalChunkPts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fs[i] = m.energyObjective(gridX(i))
+		}
+	})
 	// Replay the precomputed samples through GridMinimize itself —
 	// it probes f at exactly these abscissas in index order — so the
 	// selection rule (and the returned abscissa) is literally the
-	// serial oracle's, not a copy that could drift.
+	// serial search's, not a copy that could drift.
 	k := 0
 	best, _ := numeric.GridMinimize(func(float64) float64 { v := fs[k]; k++; return v }, loNM, hiNM, optimalGridN)
 	h := (hiNM - loNM) / float64(optimalGridN)
@@ -181,16 +203,18 @@ func (m EnergyModel) OptimalSpacing(loNM, hiNM float64) (EnergyBreakdown, error)
 	return b, nil
 }
 
+// OptimalSpacing is OptimalSpacingOn on the process-default engine.
+func (m EnergyModel) OptimalSpacing(loNM, hiNM float64) (EnergyBreakdown, error) {
+	return m.OptimalSpacingOn(engine.Default(), loNM, hiNM)
+}
+
 // OptimalSpacingSerial is the retained serial oracle for
-// OptimalSpacing: the same grid-then-golden-section search
-// (numeric.MinimizeUnimodal) with every Breakdown solve on the calling
-// goroutine.
+// OptimalSpacing: the same grid-then-golden-section search with every
+// Breakdown solve on the calling goroutine via engine.Serial
+// (equivalent to numeric.MinimizeUnimodal over the same grid and
+// tolerance).
 func (m EnergyModel) OptimalSpacingSerial(loNM, hiNM float64) (EnergyBreakdown, error) {
-	best := numeric.MinimizeUnimodal(m.energyObjective, loNM, hiNM, optimalGridN, optimalTolNM)
-	if math.IsInf(m.energyObjective(best), 1) {
-		return EnergyBreakdown{}, fmt.Errorf("core: no feasible spacing in [%g, %g] nm", loNM, hiNM)
-	}
-	return m.Breakdown(best)
+	return m.OptimalSpacingOn(engine.Serial, loNM, hiNM)
 }
 
 // EnergySavingVsFixed returns the fractional energy saving of the

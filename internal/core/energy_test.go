@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"runtime"
 	"testing"
 )
 
@@ -179,50 +178,6 @@ func TestSweepSkipsInfeasible(t *testing.T) {
 	}
 	if got := m.Sweep(0.15, 0.16, 1); len(got) != 2 {
 		t.Errorf("degenerate point count handled: %d", len(got))
-	}
-}
-
-// TestOptimalSpacingMatchesSerialOracle: the parallel bracketing
-// pre-pass reduces its grid in index order with GridMinimize's exact
-// selection rule, so the two-stage search lands on the bit-identical
-// optimum and breakdown.
-func TestOptimalSpacingMatchesSerialOracle(t *testing.T) {
-	for _, n := range []int{2, 4} {
-		m := NewEnergyModel(n)
-		got, err := m.OptimalSpacing(0.1, 0.3)
-		if err != nil {
-			t.Fatalf("n=%d: %v", n, err)
-		}
-		want, err := m.OptimalSpacingSerial(0.1, 0.3)
-		if err != nil {
-			t.Fatalf("n=%d: %v", n, err)
-		}
-		if got != want {
-			t.Errorf("n=%d: parallel %+v vs serial %+v", n, got, want)
-		}
-	}
-	// Infeasible ranges error identically.
-	m := NewEnergyModel(2)
-	if _, err := m.OptimalSpacingSerial(0.005, 0.02); err == nil {
-		t.Error("serial oracle accepted infeasible range")
-	}
-}
-
-// TestOptimalSpacingDeterministicAcrossGOMAXPROCS pins the scheduling
-// independence of the bracketing pre-pass.
-func TestOptimalSpacingDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	m := NewEnergyModel(2)
-	multi, err := m.OptimalSpacing(0.1, 0.3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
-	single, err := m.OptimalSpacing(0.1, 0.3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if multi != single {
-		t.Errorf("GOMAXPROCS=1 and all-cores disagree: %+v vs %+v", single, multi)
 	}
 }
 

@@ -1,0 +1,111 @@
+package dse
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/enginetest"
+	"repro/internal/numeric"
+)
+
+// TestEngineSuite registers every sweep runner into the generic
+// cross-engine equivalence and GOMAXPROCS-determinism suite. The
+// figure generators all reduce to these runners, so pinning them here
+// carries every figure (their per-figure determinism tests in
+// sweep_test.go stay as integration coverage).
+func TestEngineSuite(t *testing.T) {
+	enginetest.Run(t, nil, []enginetest.Case{
+		{
+			Name: "dse.SweepOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return SweepOn(e, 100, func(i int) int { return i * i }), nil
+			},
+		},
+		{
+			Name: "dse.SweepErrOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return SweepErrOn(e, 50, func(i int) (int, error) { return i + 1, nil })
+			},
+		},
+		{
+			Name: "dse.SweepSeededOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return SweepSeededOn(e, 32, 42, func(_ int, seed uint64) uint64 { return seed }), nil
+			},
+		},
+		{
+			Name: "dse.SweepSeededErrOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return SweepSeededErrOn(e, 32, 42, func(i int, seed uint64) (uint64, error) { return seed ^ uint64(i), nil })
+			},
+		},
+		{
+			Name: "dse.GridOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return GridOn(e, 7, 5, func(r, c int) [2]int { return [2]int{r, c} }), nil
+			},
+		},
+	})
+}
+
+// TestSweepErrOnLowestIndexError: the deterministic error choice holds
+// on an explicit engine too, and a nil engine is a clean error.
+func TestSweepErrOnLowestIndexError(t *testing.T) {
+	for _, e := range engine.All() {
+		_, err := SweepErrOn(e, 10, func(i int) (int, error) {
+			if i%3 == 2 { // fails at 2, 5, 8
+				return 0, fmt.Errorf("point %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 2" {
+			t.Fatalf("engine %q: err = %v, want the lowest failing index", e.Name(), err)
+		}
+	}
+}
+
+// TestNilEngineMisuse: the error-returning runners reject a nil engine
+// cleanly; the value-returning ones panic, matching engine.Use.
+func TestNilEngineMisuse(t *testing.T) {
+	if _, err := SweepErrOn(nil, 4, func(i int) (int, error) { return i, nil }); err == nil {
+		t.Error("SweepErrOn(nil) did not error")
+	}
+	if _, err := SweepSeededErrOn(nil, 4, 1, func(i int, _ uint64) (int, error) { return i, nil }); err == nil {
+		t.Error("SweepSeededErrOn(nil) did not error")
+	}
+	mustPanic(t, "SweepOn", func() { SweepOn(nil, 4, func(i int) int { return i }) })
+	mustPanic(t, "SweepSeededOn", func() { SweepSeededOn(nil, 4, 1, func(i int, _ uint64) int { return i }) })
+	mustPanic(t, "GridOn", func() { GridOn(nil, 2, 2, func(r, c int) int { return r + c }) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s(nil engine) did not panic", name)
+		}
+	}()
+	f()
+}
+
+// sweepEngineBench drives a representative engine-dispatched workload —
+// 64 independent MRR-first energy solves, the grain of the Fig. 7
+// sweeps — through SweepErrOn on the given engine.
+func sweepEngineBench(b *testing.B, e engine.Engine) {
+	m := core.NewEnergyModel(2)
+	ws := numeric.Linspace(0.11, 0.3, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepErrOn(e, len(ws), func(k int) (core.EnergyBreakdown, error) {
+			return m.Breakdown(ws[k])
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepEngineSerial(b *testing.B) { sweepEngineBench(b, engine.Serial) }
+
+func BenchmarkSweepEngine(b *testing.B) { sweepEngineBench(b, engine.WordParallel) }

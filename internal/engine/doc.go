@@ -1,0 +1,55 @@
+// Package engine is the pluggable evaluation-engine layer: a small
+// interface over "run n independent, index-addressed work items" that
+// every sweep, study and image batch in this repo dispatches through.
+// Two engines are built in — Serial, the in-order reference
+// implementation, and WordParallel, the internal/parallel worker pool
+// the word-parallel migration runs on — and callers select one per
+// call (the ...On entry points) or per process (SetDefault, oscbench's
+// -engine flag). Serial oracles are no longer parallel code copies:
+// XSerial is the same implementation run on engine.Serial.
+//
+// # The determinism contract
+//
+// An Engine is a scheduler, not a randomness source. Any Engine — the
+// built-ins, a future bipolar or nanocavity backend, a remote shard —
+// must satisfy the contract that makes results engine-independent:
+//
+//   - Exactly once: For(n, fn) and ForWorker(n, workers, fn) call fn
+//     for every index in [0, n) exactly once, and return only after
+//     every call has completed. No index may be skipped, duplicated,
+//     or left in flight.
+//   - Index-derived randomness: which goroutine runs which index is
+//     the engine's business, so work functions must derive any
+//     randomness from the index alone — stochastic.DeriveSeed(base, i)
+//     — never from worker identity, shared generators, or the clock.
+//     (The detrand lint rule enforces this at the call sites.)
+//   - Index-ordered aggregation: engines impose no execution order;
+//     callers write results to out[i] and reduce in index order, so
+//     floating-point sums fold identically under any scheduling.
+//   - O(workers) scratch: ForWorker's worker argument is in
+//     [0, workers) and each concurrent goroutine owns a distinct
+//     worker index for the duration of the call, so callers may
+//     address per-worker scratch without locks. Workers(n) reports the
+//     pool size the engine will use for n items, so scratch can be
+//     sized before the fan-out; callers pass that same count back to
+//     ForWorker.
+//
+// Any implementation holding those four properties produces results
+// bit-identical to engine.Serial. That is not left to inspection: new
+// engines register once (Register) and the generic
+// enginetest.Run suite — one registration per package, covering every
+// engine-accepting entry point — replays each path on every registered
+// engine at GOMAXPROCS 1 and 4 against the Serial reference.
+//
+// Single-stream paths (transient.Simulator.TraceOn, MeasureEyeOn)
+// consume one sequential noise stream and cannot fan out; they run
+// their walk as a single work item, so every conforming engine emits
+// the identical waveform and the suite still catches engines that
+// violate exactly-once dispatch.
+//
+// Chunked batches cheap per-item work into contiguous index ranges
+// (at most Workers ranges, each at least minChunk items) so paths
+// whose items are a few microseconds — the OptimalSpacing bracketing
+// scan — pay per-chunk rather than per-item dispatch overhead. With
+// one worker (or one chunk) it degrades to the pure serial walk.
+package engine

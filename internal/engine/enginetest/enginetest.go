@@ -1,0 +1,111 @@
+// Package enginetest is the single generic cross-engine equivalence
+// and GOMAXPROCS-determinism suite. Each package with engine-accepting
+// entry points registers one Case per entry point and calls Run once;
+// the suite replays every case on every registered engine (engine.All)
+// at GOMAXPROCS 1 and 4 and requires results deeply equal to the
+// engine.Serial reference. A new engine therefore inherits the full
+// equivalence battery by calling engine.Register — no per-path oracle
+// tests to re-write. The osclint oraclepair rule enforces the
+// registration side: every engine-accepting entry point must appear in
+// a test file that invokes Run.
+//
+// The package deliberately does not import testing, so Run can also be
+// driven by a recording TB — that is how its own teeth are proven:
+// Lossy, a deliberately broken engine that drops the final index (the
+// deterministic stand-in for a nondeterministic engine's missed work),
+// must fail the suite.
+package enginetest
+
+import (
+	"reflect"
+	"runtime"
+
+	"repro/internal/engine"
+)
+
+// TB is the minimal testing surface Run needs; *testing.T satisfies
+// it. (testing.TB itself cannot be implemented outside package
+// testing, and the teeth test needs a recording implementation.)
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
+
+// Case is one engine-accepting entry point under test. Eval must
+// build any stateful fixtures (simulators, caches) fresh on every
+// call and run the entry point on the given engine, returning the
+// result and error exactly as produced.
+type Case struct {
+	Name string
+	Eval func(e engine.Engine) (any, error)
+}
+
+// gomaxprocsLevels are the scheduler widths every (case, engine) pair
+// replays under: the degenerate single-proc pool and a contended one.
+var gomaxprocsLevels = []int{1, 4}
+
+// Run replays every case on every engine at each GOMAXPROCS level and
+// reports divergence from the engine.Serial reference through t. A
+// nil engines slice means engine.All() — the standard call, so future
+// registered engines are picked up automatically.
+func Run(t TB, engines []engine.Engine, cases []Case) {
+	t.Helper()
+	if engines == nil {
+		engines = engine.All()
+	}
+	for _, c := range cases {
+		if c.Name == "" || c.Eval == nil {
+			t.Errorf("enginetest: case %q has no name or no Eval", c.Name)
+			continue
+		}
+		ref, refErr := evalAt(1, engine.Serial, c.Eval)
+		if refErr != nil {
+			t.Errorf("enginetest: %s: serial reference failed: %v", c.Name, refErr)
+			continue
+		}
+		for _, e := range engines {
+			for _, procs := range gomaxprocsLevels {
+				got, err := evalAt(procs, e, c.Eval)
+				if err != nil {
+					t.Errorf("enginetest: %s: engine %q at GOMAXPROCS %d: %v", c.Name, e.Name(), procs, err)
+					continue
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("enginetest: %s: engine %q at GOMAXPROCS %d diverges from the serial reference\n got: %+v\nwant: %+v",
+						c.Name, e.Name(), procs, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// evalAt runs eval under a pinned GOMAXPROCS and restores the prior
+// setting before returning.
+func evalAt(procs int, e engine.Engine, eval func(engine.Engine) (any, error)) (any, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	return eval(e)
+}
+
+// Lossy is a deliberately broken Engine: it drops the final index of
+// every fan-out — the deterministic stand-in for the work a racy
+// engine loses. It exists so tests can prove Run has teeth (see
+// TestSuiteCatchesLossyEngine) and is not in the registry.
+var Lossy engine.Engine = lossyEngine{}
+
+type lossyEngine struct{}
+
+func (lossyEngine) Name() string    { return "lossy" }
+func (lossyEngine) Workers(int) int { return 1 }
+
+func (lossyEngine) For(n int, fn func(i int)) {
+	for i := 0; i < n-1; i++ {
+		fn(i)
+	}
+}
+
+func (lossyEngine) ForWorker(n, _ int, fn func(worker, i int)) {
+	for i := 0; i < n-1; i++ {
+		fn(0, i)
+	}
+}

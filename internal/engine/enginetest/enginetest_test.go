@@ -1,0 +1,111 @@
+package enginetest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/stochastic"
+)
+
+// suiteCases is a miniature but representative workload: an indexed
+// fan-out with per-index derived seeds and index-ordered aggregation,
+// via both For and ForWorker.
+func suiteCases() []Case {
+	return []Case{
+		{
+			Name: "derived-seed-sweep",
+			Eval: func(e engine.Engine) (any, error) {
+				out := make([]uint64, 9)
+				e.For(len(out), func(i int) {
+					out[i] = stochastic.DeriveSeed(7, i)
+				})
+				return out, nil
+			},
+		},
+		{
+			Name: "worker-scratch-sum",
+			Eval: func(e engine.Engine) (any, error) {
+				const n = 33
+				workers := e.Workers(n)
+				partial := make([]float64, workers)
+				e.ForWorker(n, workers, func(w, i int) {
+					partial[w] += float64(i * i)
+				})
+				var sum float64
+				for _, p := range partial {
+					sum += p
+				}
+				return sum, nil
+			},
+		},
+	}
+}
+
+// recorder is a TB that records failures instead of failing, so the
+// suite itself can be put under test.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Logf(format string, args ...any) {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+}
+
+// TestBuiltinEnginesPassSuite: both registered engines reproduce the
+// serial reference on the miniature workload — the suite run every
+// evaluated package repeats with its real entry points.
+func TestBuiltinEnginesPassSuite(t *testing.T) {
+	Run(t, nil, suiteCases())
+}
+
+// TestSuiteCatchesLossyEngine proves the suite has teeth: an engine
+// that violates exactly-once dispatch (Lossy drops the last index)
+// must fail every case, deterministically.
+func TestSuiteCatchesLossyEngine(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, []engine.Engine{Lossy}, suiteCases())
+	if len(rec.failures) == 0 {
+		t.Fatal("suite accepted an engine that drops work; it has no teeth")
+	}
+	for _, want := range []string{"derived-seed-sweep", "worker-scratch-sum"} {
+		found := false
+		for _, f := range rec.failures {
+			if strings.Contains(f, want) && strings.Contains(f, `"lossy"`) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("lossy engine not flagged on case %s; failures: %v", want, rec.failures)
+		}
+	}
+}
+
+// TestSuiteRejectsMalformedCases: unnamed or Eval-less cases are
+// reported rather than silently skipped.
+func TestSuiteRejectsMalformedCases(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, nil, []Case{{Name: "no-eval"}, {Eval: func(engine.Engine) (any, error) { return nil, nil }}})
+	if len(rec.failures) != 2 {
+		t.Fatalf("expected 2 malformed-case failures, got %v", rec.failures)
+	}
+}
+
+// TestSuiteReportsReferenceFailure: a case whose serial reference
+// errors is reported as such, not compared.
+func TestSuiteReportsReferenceFailure(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, nil, []Case{{
+		Name: "broken-reference",
+		Eval: func(e engine.Engine) (any, error) { return nil, fmt.Errorf("boom") },
+	}})
+	if len(rec.failures) != 1 || !strings.Contains(rec.failures[0], "serial reference failed") {
+		t.Fatalf("reference failure not reported: %v", rec.failures)
+	}
+}

@@ -15,21 +15,23 @@
 // GammaLUTCache memoizes the coefficient fit, the circuit solve and
 // the quantized LUT per (gamma, degree, spacing, streamLen, seed),
 // and GammaVideo corrects a whole frame batch through one cached
-// table, fanning the per-frame LUT applications over the pool —
-// bit-identical to the per-frame oracle GammaVideoSerial. Quickstart:
+// table, fanning the per-frame LUT applications over the evaluation
+// engine (GammaVideoOn takes the engine explicitly; GammaVideoSerial
+// is the engine.Serial shim). Quickstart:
 //
 //	var cache image.GammaLUTCache
 //	out, err := image.GammaVideo(frames, 0.45, 6, 0.3, 1024, 9, &cache)
 //
 // Edge detection has no LUT shortcut — every pixel window needs its
 // own correlated streams — so RobertsCrossSC is a packed tiled
-// engine: row bands fan out over the internal/parallel pool, and each
+// engine: row bands fan out over the evaluation engine
+// (RobertsCrossSCOn takes it explicitly), and each
 // worker streams its pixels through word-level plane kernels
 // (stochastic.FillAbsDiffPlane, stochastic.MuxPlanes) on per-worker
 // scratch, with flat diagonal pairs eliding their RNG draws entirely.
 // Per-pixel seeds derive from the pixel index via
 // stochastic.DeriveSeed, so the output is bit-identical to the
-// bit-serial oracle (RobertsCrossSCSerial) on any core count.
+// bit-serial shim (RobertsCrossSCSerial) on any engine or core count.
 // Quickstart:
 //
 //	src := image.Checkerboard(64, 64, 8, 30, 220)

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/parallel"
+	"repro/internal/engine"
 	"repro/internal/stochastic"
 )
 
@@ -86,23 +86,27 @@ func (s *edgeScratch) absDiffPlane(dst []uint64, a, b uint8, seed uint64, stream
 	stochastic.FillAbsDiffPlane(s.src, float64(a)/255, float64(b)/255, streamLen, dst)
 }
 
-// RobertsCrossSC computes the operator stochastically with
+// RobertsCrossSCOn computes the operator stochastically with
 // `streamLen`-bit streams. Pixel streams within one 2×2 window share
 // one randomness source (maximal correlation) so XOR realizes the
 // absolute difference; the two difference streams and the averaging
 // select stream are mutually independent.
 //
-// This is the packed tiled engine: row bands fan out over the
-// internal/parallel pool and each worker streams its pixels through
-// word-level plane kernels (stochastic.FillAbsDiffPlane /
-// MuxPlanes) on reusable scratch — no per-pixel Bitstream
-// allocations, and flat diagonal pairs elide their RNG draws
-// entirely. Every pixel's randomness derives from its index alone
-// (pixelSeeds), so the output is bit-identical to the serial oracle
-// RobertsCrossSCSerial and deterministic on any GOMAXPROCS. A
-// non-positive stream length is an error (it would silently produce a
-// garbage image).
-func RobertsCrossSC(src *Gray, streamLen int, seed uint64) (*Gray, error) {
+// This is the packed tiled engine: row bands are independent work
+// items dispatched on the given engine, and each worker streams its
+// pixels through word-level plane kernels (stochastic.FillAbsDiffPlane
+// / MuxPlanes) on reusable per-worker scratch — no per-pixel Bitstream
+// allocations, and flat diagonal pairs elide their RNG draws entirely.
+// Every pixel's randomness derives from its index alone (pixelSeeds),
+// so the output is bit-identical on every conforming engine and
+// deterministic on any GOMAXPROCS. A non-positive stream length is an
+// error (it would silently produce a garbage image), as is a nil
+// engine. The word-level kernels themselves are pinned against their
+// bit-serial definitions by the stochastic package's plane tests.
+func RobertsCrossSCOn(e engine.Engine, src *Gray, streamLen int, seed uint64) (*Gray, error) {
+	if err := engine.Check(e); err != nil {
+		return nil, err
+	}
 	if streamLen < 1 {
 		return nil, fmt.Errorf("image: stream length %d, need >= 1", streamLen)
 	}
@@ -115,9 +119,9 @@ func RobertsCrossSC(src *Gray, streamLen int, seed uint64) (*Gray, error) {
 	sel := make([]uint64, words)
 	stochastic.FillPlane(stochastic.NewSplitMix64(seed^selSalt), 0.5, streamLen, sel)
 	tiles := (rows + edgeRowsPerTile - 1) / edgeRowsPerTile
-	workers := parallel.Workers(tiles)
+	workers := e.Workers(tiles)
 	scratch := make([]*edgeScratch, workers)
-	parallel.ForWorker(tiles, workers, func(worker, t int) {
+	e.ForWorker(tiles, workers, func(worker, t int) {
 		s := scratch[worker]
 		if s == nil {
 			s = newEdgeScratch(words)
@@ -141,52 +145,14 @@ func RobertsCrossSC(src *Gray, streamLen int, seed uint64) (*Gray, error) {
 	return out, nil
 }
 
-// RobertsCrossSCSerial is the bit-serial, single-core oracle for
-// RobertsCrossSC: identical seeding and gate structure, one RNG draw
-// and one comparator per clock, fresh Bitstreams per pixel. The packed
-// engine must emit the same image bit for bit; this path exists as the
-// equivalence oracle and the baseline of the speedup benchmarks.
-func RobertsCrossSCSerial(src *Gray, streamLen int, seed uint64) (*Gray, error) {
-	if streamLen < 1 {
-		return nil, fmt.Errorf("image: stream length %d, need >= 1", streamLen)
-	}
-	out := NewGray(src.W, src.H)
-	selSNG := stochastic.NewSNG(stochastic.NewSplitMix64(seed ^ selSalt))
-	sel := selSNG.Generate(0.5, streamLen)
-	for y := 0; y < src.H-1; y++ {
-		for x := 0; x < src.W-1; x++ {
-			s1, s2 := pixelSeeds(seed, y*src.W+x)
-			// One shared source per diagonal pair => correlated
-			// streams whose XOR is the absolute difference.
-			d1 := absDiffStream(
-				float64(src.At(x, y))/255,
-				float64(src.At(x+1, y+1))/255,
-				streamLen, s1)
-			d2 := absDiffStream(
-				float64(src.At(x+1, y))/255,
-				float64(src.At(x, y+1))/255,
-				streamLen, s2)
-			e := stochastic.ScaledAdd(sel, d1, d2)
-			out.Set(x, y, quantize(e.Value()))
-		}
-	}
-	return out, nil
+// RobertsCrossSC is RobertsCrossSCOn on the process-default engine.
+func RobertsCrossSC(src *Gray, streamLen int, seed uint64) (*Gray, error) {
+	return RobertsCrossSCOn(engine.Default(), src, streamLen, seed)
 }
 
-// absDiffStream builds two maximally correlated streams of values a
-// and b from one uniform source and XORs them: value |a−b|.
-func absDiffStream(a, b float64, n int, seed uint64) *stochastic.Bitstream {
-	src := stochastic.NewSplitMix64(seed)
-	sa := stochastic.NewBitstream(n)
-	sb := stochastic.NewBitstream(n)
-	for i := 0; i < n; i++ {
-		r := src.Next()
-		if r < a {
-			sa.Set(i, 1)
-		}
-		if r < b {
-			sb.Set(i, 1)
-		}
-	}
-	return stochastic.AbsDiffXOR(sa, sb)
+// RobertsCrossSCSerial is the retained serial oracle for
+// RobertsCrossSC: the same tiled kernel walked in order on the calling
+// goroutine via engine.Serial.
+func RobertsCrossSCSerial(src *Gray, streamLen int, seed uint64) (*Gray, error) {
+	return RobertsCrossSCOn(engine.Serial, src, streamLen, seed)
 }

@@ -1,7 +1,6 @@
 package image
 
 import (
-	"runtime"
 	"testing"
 )
 
@@ -69,62 +68,6 @@ func TestRobertsCrossGradientQuiet(t *testing.T) {
 	for x := 0; x < 62; x++ {
 		if e.At(x, 3) > 10 {
 			t.Fatalf("ramp response %d at x=%d", e.At(x, 3), x)
-		}
-	}
-}
-
-// TestRobertsCrossPackedMatchesSerial is the tentpole contract: the
-// tiled packed engine emits the same image, bit for bit, as the
-// bit-serial oracle. Odd dimensions and a non-word-multiple stream
-// length exercise tile remainders and plane tails; `go test -race`
-// additionally checks the tile fan-out for data races.
-func TestRobertsCrossPackedMatchesSerial(t *testing.T) {
-	for _, tc := range []struct {
-		w, h, streamLen int
-		seed            uint64
-	}{
-		{16, 16, 1024, 9},
-		{21, 13, 100, 3},  // stream tail, ragged tiles
-		{33, 9, 64, 77},   // exactly one word
-		{5, 30, 1, 5},     // single-bit streams
-		{64, 64, 2048, 7}, // the example's configuration
-	} {
-		src := Checkerboard(tc.w, tc.h, 4, 40, 210)
-		want, err := RobertsCrossSCSerial(src, tc.streamLen, tc.seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		got, err := RobertsCrossSC(src, tc.streamLen, tc.seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := range want.Pix {
-			if want.Pix[i] != got.Pix[i] {
-				t.Fatalf("%dx%d @%d bits: pixel %d = %d, oracle %d",
-					tc.w, tc.h, tc.streamLen, i, got.Pix[i], want.Pix[i])
-			}
-		}
-	}
-}
-
-// TestRobertsCrossSCGOMAXPROCSDeterminism pins the scheduling
-// independence of the tiled engine: one core and all cores produce the
-// same image.
-func TestRobertsCrossSCGOMAXPROCSDeterminism(t *testing.T) {
-	src := Radial(40, 40)
-	multi, err := RobertsCrossSC(src, 512, 11)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
-	single, err := RobertsCrossSC(src, 512, 11)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range multi.Pix {
-		if multi.Pix[i] != single.Pix[i] {
-			t.Fatalf("pixel %d differs across GOMAXPROCS: %d vs %d",
-				i, multi.Pix[i], single.Pix[i])
 		}
 	}
 }

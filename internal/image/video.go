@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/parallel"
+	"repro/internal/engine"
 	"repro/internal/stochastic"
 )
 
@@ -92,18 +92,24 @@ func (c *GammaLUTCache) ReSCLUT(gamma float64, degree, streamLen int, seed uint6
 	})
 }
 
-// GammaVideo applies optical gamma correction to a batch of frames —
-// the video-style workload of the photonic-crystal follow-up — and
+// GammaVideoOn applies optical gamma correction to a batch of frames
+// — the video-style workload of the photonic-crystal follow-up — and
 // returns the corrected frames in order. The gamma state (coefficient
 // fit, circuit solve, 256-level LUT) is built once through the cache
-// and amortized across the batch; frames then fan out over the
-// internal/parallel worker pool as independent LUT applications, so
-// the output is bit-identical to GammaVideoSerial on any core count.
+// and amortized across the batch; frames are then independent LUT
+// applications dispatched on the given engine, so the output is
+// bit-identical on every conforming engine and on any core count (the
+// table is a pure function of the recipe — TestGammaLUTCacheReuse
+// pins it against the per-frame GammaOptical build).
 //
 // A nil cache builds the state privately for this call; passing a
 // shared *GammaLUTCache amortizes it across calls (successive batches,
-// interleaved gammas). Frames must be non-nil.
-func GammaVideo(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+// interleaved gammas). Frames must be non-nil; a nil engine is an
+// error.
+func GammaVideoOn(e engine.Engine, frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+	if err := engine.Check(e); err != nil {
+		return nil, err
+	}
 	if cache == nil {
 		cache = &GammaLUTCache{}
 	}
@@ -112,7 +118,7 @@ func GammaVideo(frames []*Gray, gamma float64, degree int, spacingNM float64, st
 		return nil, err
 	}
 	out := make([]*Gray, len(frames))
-	parallel.For(len(frames), func(i int) {
+	e.For(len(frames), func(i int) {
 		f := frames[i].Clone()
 		applyLUT(f, lut)
 		out[i] = f
@@ -120,23 +126,19 @@ func GammaVideo(frames []*Gray, gamma float64, degree int, spacingNM float64, st
 	return out, nil
 }
 
-// GammaVideoSerial is the retained oracle for GammaVideo: one full
-// GammaOptical build-and-apply per frame, frames walked in order on
-// the calling goroutine. GammaOptical's per-frame table is a pure
-// function of the recipe, so the cached path emits identical frames.
-func GammaVideoSerial(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64) ([]*Gray, error) {
-	out := make([]*Gray, len(frames))
-	for i, f := range frames {
-		g, err := GammaOptical(f, gamma, degree, spacingNM, streamLen, seed)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = g
-	}
-	return out, nil
+// GammaVideo is GammaVideoOn on the process-default engine.
+func GammaVideo(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+	return GammaVideoOn(engine.Default(), frames, gamma, degree, spacingNM, streamLen, seed, cache)
 }
 
-// GammaVideoPerFrame is GammaVideo with decorrelated stochastic noise
+// GammaVideoSerial is the retained serial oracle for GammaVideo: the
+// same cached build with frames walked in order on the calling
+// goroutine via engine.Serial.
+func GammaVideoSerial(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64) ([]*Gray, error) {
+	return GammaVideoOn(engine.Serial, frames, gamma, degree, spacingNM, streamLen, seed, nil)
+}
+
+// GammaVideoPerFrameOn is GammaVideoOn with decorrelated stochastic noise
 // across frames: frame i evaluates its LUT under the derived seed
 // DeriveSeed(seed, i), so quantization error is independent frame to
 // frame instead of frozen into one batch-wide pattern (the temporal
@@ -148,10 +150,14 @@ func GammaVideoSerial(frames []*Gray, gamma float64, degree int, spacingNM float
 // cache's GammaCoefCache, so the expensive fit happens once per batch;
 // each distinct frame index then memoizes its own 256-level table, so
 // replaying the batch (or a longer clip at the same base seed) hits
-// every LUT already built. Frames fan out over the worker pool; if
-// any fail, the error of the lowest failing frame is returned — a
-// deterministic choice, matching dse.SweepErr.
-func GammaVideoPerFrame(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+// every LUT already built. Frames are dispatched on the given engine;
+// if any fail, the error of the lowest failing frame is returned — a
+// deterministic choice, matching dse.SweepErr. A nil engine is an
+// error.
+func GammaVideoPerFrameOn(e engine.Engine, frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+	if err := engine.Check(e); err != nil {
+		return nil, err
+	}
 	if cache == nil {
 		cache = &GammaLUTCache{}
 	}
@@ -162,7 +168,7 @@ func GammaVideoPerFrame(frames []*Gray, gamma float64, degree int, spacingNM flo
 	}
 	out := make([]*Gray, len(frames))
 	errs := make([]error, len(frames))
-	parallel.For(len(frames), func(i int) {
+	e.For(len(frames), func(i int) {
 		lut, err := cache.OpticalLUT(gamma, degree, spacingNM, streamLen, stochastic.DeriveSeed(seed, i))
 		if err != nil {
 			errs[i] = err
@@ -180,17 +186,15 @@ func GammaVideoPerFrame(frames []*Gray, gamma float64, degree int, spacingNM flo
 	return out, nil
 }
 
-// GammaVideoPerFrameSerial is the retained oracle for
-// GammaVideoPerFrame: one full GammaOptical build per frame under the
-// same derived seed, frames walked in order on the calling goroutine.
+// GammaVideoPerFrame is GammaVideoPerFrameOn on the process-default
+// engine.
+func GammaVideoPerFrame(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+	return GammaVideoPerFrameOn(engine.Default(), frames, gamma, degree, spacingNM, streamLen, seed, cache)
+}
+
+// GammaVideoPerFrameSerial is the retained serial oracle for
+// GammaVideoPerFrame: the same cached per-frame-seed build with frames
+// walked in order on the calling goroutine via engine.Serial.
 func GammaVideoPerFrameSerial(frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64) ([]*Gray, error) {
-	out := make([]*Gray, len(frames))
-	for i, f := range frames {
-		g, err := GammaOptical(f, gamma, degree, spacingNM, streamLen, stochastic.DeriveSeed(seed, i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = g
-	}
-	return out, nil
+	return GammaVideoPerFrameOn(engine.Serial, frames, gamma, degree, spacingNM, streamLen, seed, nil)
 }

@@ -10,11 +10,12 @@ import (
 //
 //   - no time.Now and no global math/rand state in internal/ — every
 //     result must replay bit-identically from explicit seeds;
-//   - any worker closure passed to parallel.For/ForWorker/Run that
-//     constructs an RNG must derive its seed through
-//     stochastic.DeriveSeed (directly, or via a same-package seed
-//     helper such as trialSeeds), so results are identical at any
-//     GOMAXPROCS and under any scheduling.
+//   - any worker closure passed to parallel.For/ForWorker/Run or to
+//     an evaluation engine's For/ForWorker (internal/engine,
+//     engine.Chunked included) that constructs an RNG must derive its
+//     seed through stochastic.DeriveSeed (directly, or via a
+//     same-package seed helper such as trialSeeds), so results are
+//     identical at any GOMAXPROCS and under any scheduling.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "deterministic randomness: no wall-clock or global RNG state; worker closures seed via stochastic.DeriveSeed",
@@ -45,6 +46,30 @@ func pkgSuffixIs(obj types.Object, path string) bool {
 
 func isStochasticFunc(obj *types.Func, name string) bool {
 	return obj != nil && obj.Name() == name && pkgSuffixIs(obj, "internal/stochastic")
+}
+
+// dispatchesWorkers reports whether the call hands worker closures to
+// a fan-out primitive: internal/parallel's For/ForWorker/Run, or the
+// engine layer's Engine.For/ForWorker and engine.Chunked — the worker
+// closures both analyzers inspect.
+func dispatchesWorkers(p *Package, call *ast.CallExpr) bool {
+	callee := p.Callee(call)
+	if callee == nil {
+		return false
+	}
+	switch {
+	case pkgSuffixIs(callee, "internal/parallel"):
+		switch callee.Name() {
+		case "For", "ForWorker", "Run":
+			return true
+		}
+	case pkgSuffixIs(callee, "internal/engine"):
+		switch callee.Name() {
+		case "For", "ForWorker", "Chunked":
+			return true
+		}
+	}
+	return false
 }
 
 func runDetRand(p *Package) []Finding {
@@ -92,10 +117,11 @@ func detRandWallClock(p *Package, f *ast.File) []Finding {
 	return out
 }
 
-// detRandWorkers checks every closure handed to the parallel pool: if
-// it constructs an RNG, the seed must flow through
-// stochastic.DeriveSeed, either in the closure body or inside a
-// same-package helper the closure calls (the trialSeeds pattern).
+// detRandWorkers checks every closure handed to a fan-out primitive
+// (the parallel pool or an evaluation engine): if it constructs an
+// RNG, the seed must flow through stochastic.DeriveSeed, either in the
+// closure body or inside a same-package helper the closure calls (the
+// trialSeeds pattern).
 func detRandWorkers(p *Package, f *ast.File) []Finding {
 	var out []Finding
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -103,13 +129,7 @@ func detRandWorkers(p *Package, f *ast.File) []Finding {
 		if !ok {
 			return true
 		}
-		callee := p.Callee(call)
-		if callee == nil || !pkgSuffixIs(callee, "internal/parallel") {
-			return true
-		}
-		switch callee.Name() {
-		case "For", "ForWorker", "Run":
-		default:
+		if !dispatchesWorkers(p, call) {
 			return true
 		}
 		for _, arg := range call.Args {
@@ -157,7 +177,7 @@ func checkWorkerBody(p *Package, fl *ast.FuncLit) []Finding {
 	var out []Finding
 	for _, c := range ctors {
 		out = append(out, p.Findingf(c, "detrand",
-			"RNG constructed in a parallel worker body without stochastic.DeriveSeed; "+
+			"RNG constructed in a worker body without stochastic.DeriveSeed; "+
 				"derive the seed from the item index for cross-worker determinism"))
 	}
 	return out

@@ -18,15 +18,17 @@
 // CI smoke diff caught map-iteration nondeterminism in
 // optics.RenderSpectrumASCII only at runtime, and PR 2 fixed oscspice
 // silently swallowing evaluation errors. This suite moves those bug
-// classes from runtime diffs to analysis time, before the Engine
-// refactor multiplies the number of backends sharing them.
+// classes from runtime diffs to analysis time — and now that the
+// engine layer (internal/engine) multiplies the backends sharing each
+// entry point, the rules cover engine-dispatched worker bodies too.
 //
 // # Rules
 //
 // detrand — deterministic randomness. In internal/ packages, time.Now
 // and the global math/rand functions are banned outright: results must
 // replay bit-identically from explicit seeds. Everywhere, a closure
-// passed to parallel.For / parallel.ForWorker that constructs an RNG
+// passed to a worker dispatcher — parallel.For / ForWorker / Run, or
+// an Engine's For / ForWorker / engine.Chunked — that constructs an RNG
 // (stochastic.NewSplitMix64, NewLFSR, NewChaoticSource,
 // NewChaoticLaserSNG, NewReSCWithSeeds, or a math/rand constructor)
 // must reference stochastic.DeriveSeed — directly in the body, or
@@ -41,18 +43,25 @@
 // idiom passes: appends are clean when the destination slice is handed
 // to a sort.* / slices.Sort* call later in the same block.
 //
-// oraclepair — equivalence pins. For every exported X with an exported
-// XSerial sibling in an internal/ package, some _test.go file in the
-// package must reference both identifiers; otherwise the pair is
-// unpinned and the oracle is dead weight.
+// oraclepair — equivalence pins, in two parts. Pairs: for every
+// exported X with an exported XSerial sibling in an internal/
+// package, some _test.go file in the package must reference both
+// identifiers; otherwise the pair is unpinned and the oracle is dead
+// weight. Suite registration: every exported function or method that
+// takes an engine.Engine parameter must be exercised by the
+// cross-engine suite — referenced from a _test.go file that imports
+// internal/engine/enginetest and calls its Run — otherwise the entry
+// point is never replayed across engines. internal/engine itself (and
+// its subpackages) is exempt, being the layer under test.
 //
 // errprop — error propagation in cmd/ and internal/. Discarding an
 // error via `_ =` (including the error slot of a multi-assign) or a
 // bare call statement is flagged. defer/go statements, fmt.Print* to
 // stdout, and strings.Builder / bytes.Buffer methods are exempt.
 //
-// hotalloc — allocation in hot worker bodies. Inside parallel.For /
-// ForWorker closures, `make`, growing `append`, and fmt.Sprint* run
+// hotalloc — allocation in hot worker bodies. Inside worker closures
+// (the same parallel / engine dispatchers as detrand), `make`,
+// growing `append`, and fmt.Sprint* run
 // once per item; the rule points at the per-worker scratch pattern
 // (O(workers) allocations, see image.RobertsCrossSC) backing the
 // ROADMAP zero-alloc push.

@@ -5,16 +5,17 @@ import (
 )
 
 // HotAlloc supports the ROADMAP zero-alloc push: inside a closure
-// handed to parallel.For/ForWorker/Run, per-item `make` calls,
-// growing `append`s, and fmt.Sprint* formatting multiply allocations
-// by the item count. The fix is the ForWorker per-worker scratch
-// pattern (O(workers) allocations, see image.RobertsCrossSC) or
-// hoisting the buffer outside the fan-out. Results that must be
+// handed to parallel.For/ForWorker/Run or to an evaluation engine's
+// For/ForWorker (internal/engine, engine.Chunked included), per-item
+// `make` calls, growing `append`s, and fmt.Sprint* formatting multiply
+// allocations by the item count. The fix is the ForWorker per-worker
+// scratch pattern (O(workers) allocations, see image.RobertsCrossSC)
+// or hoisting the buffer outside the fan-out. Results that must be
 // written per item (`out[i] = ...`) are unaffected — only fresh
 // allocations inside the body are flagged.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "no per-item make/append-growth/fmt.Sprint* inside parallel worker bodies; use per-worker scratch",
+	Doc:  "no per-item make/append-growth/fmt.Sprint* inside worker bodies; use per-worker scratch",
 	Run:  runHotAlloc,
 }
 
@@ -26,13 +27,7 @@ func runHotAlloc(p *Package) []Finding {
 			if !ok {
 				return true
 			}
-			callee := p.Callee(call)
-			if callee == nil || !pkgSuffixIs(callee, "internal/parallel") {
-				return true
-			}
-			switch callee.Name() {
-			case "For", "ForWorker", "Run":
-			default:
+			if !dispatchesWorkers(p, call) {
 				return true
 			}
 			for _, arg := range call.Args {
@@ -56,11 +51,11 @@ func checkHotBody(p *Package, fl *ast.FuncLit) []Finding {
 		switch {
 		case isBuiltin(p, call, "make"):
 			out = append(out, p.Findingf(call, "hotalloc",
-				"make inside a parallel worker body allocates per item; "+
+				"make inside a worker body allocates per item; "+
 					"hoist into per-worker scratch (parallel.ForWorker worker index)"))
 		case isBuiltin(p, call, "append"):
 			out = append(out, p.Findingf(call, "hotalloc",
-				"append inside a parallel worker body may grow per item; "+
+				"append inside a worker body may grow per item; "+
 					"pre-size the destination or use per-worker scratch"))
 		default:
 			callee := p.Callee(call)
@@ -68,7 +63,7 @@ func checkHotBody(p *Package, fl *ast.FuncLit) []Finding {
 				switch callee.Name() {
 				case "Sprintf", "Sprint", "Sprintln", "Errorf":
 					out = append(out, p.Findingf(call, "hotalloc",
-						"fmt.%s inside a parallel worker body allocates per item; "+
+						"fmt.%s inside a worker body allocates per item; "+
 							"format outside the fan-out or into per-worker scratch", callee.Name()))
 				}
 			}

@@ -2,19 +2,30 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"sort"
 	"strings"
 )
 
-// OraclePair enforces the repo's oracle discipline: every exported
+// OraclePair enforces the repo's oracle discipline, in two parts.
+//
+// Part one (the retained X/XSerial check): every exported
 // word-parallel engine X with a retained bit-serial sibling XSerial
 // must be pinned by a _test.go file in the same package that
 // references both identifiers — the equivalence test that keeps the
 // pair bit-identical. Without it a new engine can land "paired" with
 // an oracle nothing ever compares against.
+//
+// Part two (the suite-registration check): every exported entry point
+// that accepts an engine.Engine parameter must be registered in the
+// generic cross-engine equivalence suite — referenced from a _test.go
+// file in the same package that calls enginetest.Run. The suite is
+// what replays the entry point on every registered engine against the
+// engine.Serial reference; an unregistered entry point dispatches work
+// nothing ever cross-checks.
 var OraclePair = &Analyzer{
 	Name: "oraclepair",
-	Doc:  "every X/XSerial engine pair needs a test referencing both (the equivalence pin)",
+	Doc:  "X/XSerial pairs need an equivalence test; engine-accepting entry points must register in the enginetest suite",
 	Run:  runOraclePair,
 }
 
@@ -22,6 +33,12 @@ func runOraclePair(p *Package) []Finding {
 	if !p.IsInternal() {
 		return nil
 	}
+	out := runPairCheck(p)
+	out = append(out, runSuiteCheck(p)...)
+	return out
+}
+
+func runPairCheck(p *Package) []Finding {
 	// Exported top-level functions and methods, by name.
 	decls := map[string]*ast.FuncDecl{}
 	for _, f := range p.Files {
@@ -55,6 +72,116 @@ func runOraclePair(p *Package) []Finding {
 			base, name))
 	}
 	return out
+}
+
+// runSuiteCheck is part two: exported functions and methods with an
+// engine.Engine parameter must appear in a test file that invokes
+// enginetest.Run. The engine layer itself (internal/engine and its
+// subpackages) is exempt — its Register/Get/Use plumbing takes Engine
+// values without dispatching domain work.
+func runSuiteCheck(p *Package) []Finding {
+	if strings.HasSuffix(p.Path, "/internal/engine") ||
+		strings.Contains(p.Path, "/internal/engine/") {
+		return nil
+	}
+	suite := suiteFiles(p)
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !hasEngineParam(p, fd) {
+				continue
+			}
+			if inSuite(suite, fd.Name.Name) {
+				continue
+			}
+			out = append(out, p.Findingf(fd.Name, "oraclepair",
+				"engine entry point %s is not registered in the cross-engine suite; add an enginetest.Case for it in a test file that calls enginetest.Run",
+				fd.Name.Name))
+		}
+	}
+	return out
+}
+
+// hasEngineParam reports whether the declaration takes a parameter of
+// the internal/engine Engine interface type.
+func hasEngineParam(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		if obj := named.Obj(); obj.Name() == "Engine" && pkgSuffixIs(obj, "internal/engine") {
+			return true
+		}
+	}
+	return false
+}
+
+// suiteFiles returns the package's test files that call enginetest.Run
+// (through whatever local name the import is bound to).
+func suiteFiles(p *Package) []*ast.File {
+	var out []*ast.File
+	for _, tf := range p.TestFiles {
+		local := enginetestImportName(tf)
+		if local == "" || local == "_" {
+			continue
+		}
+		calls := false
+		ast.Inspect(tf, func(n ast.Node) bool {
+			if calls {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Run" {
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == local {
+					calls = true
+				}
+			}
+			return true
+		})
+		if calls {
+			out = append(out, tf)
+		}
+	}
+	return out
+}
+
+// enginetestImportName returns the local name a file binds the
+// enginetest package to, or "" when the file does not import it. Test
+// files are parsed but not type-checked, so the check is syntactic on
+// the import path suffix.
+func enginetestImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "internal/engine/enginetest" || strings.HasSuffix(path, "/internal/engine/enginetest") {
+			if imp.Name != nil {
+				return imp.Name.Name
+			}
+			return "enginetest"
+		}
+	}
+	return ""
+}
+
+// inSuite reports whether any suite file references the identifier.
+func inSuite(suite []*ast.File, name string) bool {
+	for _, tf := range suite {
+		if referencesName(tf, name) {
+			return true
+		}
+	}
+	return false
 }
 
 // pairTested reports whether a single test file references both

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/parallel"
 	"repro/internal/stochastic"
 )
@@ -59,6 +60,28 @@ func GoodHelper(n int, seed uint64) []float64 {
 	out := make([]float64, n)
 	parallel.For(n, func(i int) {
 		rng := stochastic.NewSplitMix64(itemSeed(seed, i))
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// BadEngineSeed constructs an underived per-item RNG inside an
+// engine-dispatched worker body: Engine.For is a fan-out exactly like
+// parallel.For, so the same discipline applies.
+func BadEngineSeed(e engine.Engine, n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	e.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(seed + uint64(i)) // want detrand
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// GoodEngineSeed derives per-item seeds on the engine dispatch path.
+func GoodEngineSeed(e engine.Engine, n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	e.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(stochastic.DeriveSeed(seed, i))
 		out[i] = rng.Next()
 	})
 	return out

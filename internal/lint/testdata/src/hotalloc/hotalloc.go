@@ -6,6 +6,7 @@ package hotalloc
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/parallel"
 )
 
@@ -18,6 +19,35 @@ func BadPerItem(n int) []string {
 		var tail []byte
 		tail = append(tail, buf[:8]...) // want hotalloc
 		_ = tail
+	})
+	return out
+}
+
+// BadEnginePerItem allocates per item inside an engine-dispatched
+// worker body: Engine.For is a fan-out exactly like parallel.For.
+func BadEnginePerItem(e engine.Engine, n int) []string {
+	out := make([]string, n)
+	e.For(n, func(i int) {
+		buf := make([]byte, 8) // want hotalloc
+		buf[0] = byte(i)
+		out[i] = string(buf[:1])
+	})
+	return out
+}
+
+// GoodEngineScratch hoists per-worker scratch ahead of the engine
+// fan-out, mirroring the parallel.ForWorker pattern.
+func GoodEngineScratch(e engine.Engine, n int) []int {
+	workers := e.Workers(n)
+	scratch := make([][]byte, workers)
+	for w := range scratch {
+		scratch[w] = make([]byte, 8)
+	}
+	out := make([]int, n)
+	e.ForWorker(n, workers, func(worker, i int) {
+		buf := scratch[worker]
+		buf[0] = byte(i)
+		out[i] = int(buf[0])
 	})
 	return out
 }

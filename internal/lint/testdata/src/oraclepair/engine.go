@@ -1,0 +1,39 @@
+package oraclepair
+
+import "repro/internal/engine"
+
+// RegisteredOn is an engine-accepting entry point registered in the
+// cross-engine suite: engine_test.go carries an enginetest.Case for it
+// inside an enginetest.Run call, so it passes the suite check.
+func RegisteredOn(e engine.Engine, n int) []int {
+	out := make([]int, n)
+	engine.Use(e).For(n, func(i int) { out[i] = i * i })
+	return out
+}
+
+// UnregisteredOn takes an Engine but no test file registers it into
+// the enginetest suite — nothing ever replays it across engines.
+func UnregisteredOn(e engine.Engine, n int) []int { // want oraclepair
+	out := make([]int, n)
+	engine.Use(e).For(n, func(i int) { out[i] = i + 1 })
+	return out
+}
+
+// MentionedOn is referenced from pair_test.go — but that file never
+// calls enginetest.Run, so a bare mention does not satisfy the suite
+// check.
+func MentionedOn(e engine.Engine, n int) []int { // want oraclepair
+	out := make([]int, n)
+	engine.Use(e).For(n, func(i int) { out[i] = i * 3 })
+	return out
+}
+
+// unexportedOn is below the rule's scope: unexported entry points are
+// implementation detail.
+func unexportedOn(e engine.Engine, n int) []int {
+	out := make([]int, n)
+	engine.Use(e).For(n, func(i int) { out[i] = -i })
+	return out
+}
+
+var _ = unexportedOn

@@ -42,22 +42,24 @@
 // # Word-parallel measurements
 //
 // Every measurement on top of the simulator follows the same pattern:
-// a word-parallel or fanned-out fast path, a retained bit-serial (or
-// serial-walk) oracle it is bit-identical to, and randomness derived
-// so results are reproducible on any core count.
+// an engine-dispatched entry point XOn(e engine.Engine, ...) whose
+// randomness derives from item indices, a bare X running on the
+// process-default engine, and an XSerial shim on engine.Serial — all
+// bit-identical across engines on any core count, pinned by this
+// package's internal/engine/enginetest suite.
 //
-//   - Trace / TraceSerial — the pulse-gated waveform written over
-//     core.Unit.Cycles (64 decoded cycles per SNG word draw) with
-//     per-slot block noise fills.
-//   - MeasureEye / MeasureEyeSerial — decision-instant statistics
-//     over the same decoded-cycle visitor.
-//   - SyncSweep / SyncSweepSerial — sampling offsets fanned over the
-//     internal/parallel pool with per-offset derived noise seeds.
-//   - BERWaterfall / BERWaterfallSerial — probe-power points fanned
-//     over the pool, each rebuilding its circuit with per-point
-//     derived unit and simulator seeds.
-//   - AccuracyVsLength / AccuracyVsLengthSerial — (length, trial)
-//     pairs fanned over the pool with per-trial derived seeds; it
-//     does not advance the simulator's generators, so repeated calls
-//     return identical points.
+//   - TraceOn (Trace / TraceSerial) — the pulse-gated waveform
+//     written over core.Unit.Cycles (64 decoded cycles per SNG word
+//     draw) with per-slot block noise fills.
+//   - MeasureEyeOn (MeasureEye / MeasureEyeSerial) — decision-instant
+//     statistics over the same decoded-cycle visitor.
+//   - SyncSweepOn (SyncSweep / SyncSweepSerial) — sampling offsets
+//     fanned over the engine with per-offset derived noise seeds.
+//   - BERWaterfallOn (BERWaterfall / BERWaterfallSerial) —
+//     probe-power points fanned over the engine, each rebuilding its
+//     circuit with per-point derived unit and simulator seeds.
+//   - AccuracyVsLengthOn (AccuracyVsLength / AccuracyVsLengthSerial)
+//     — (length, trial) pairs fanned over the engine with per-trial
+//     derived seeds; it does not advance the simulator's generators,
+//     so repeated calls return identical points.
 package transient

@@ -2,37 +2,16 @@ package transient
 
 import (
 	"reflect"
-	"runtime"
 	"testing"
 
 	"repro/internal/core"
 )
 
-// withGOMAXPROCS runs f at the given GOMAXPROCS, restoring the old
-// value afterwards.
-func withGOMAXPROCS(n int, f func()) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(n))
-	f()
-}
-
-// assertDeterministic evaluates gen at GOMAXPROCS 1 and 4 and requires
-// deeply equal results — the contract every fanned-out path carries.
-func assertDeterministic[T any](t *testing.T, name string, gen func() (T, error)) {
-	t.Helper()
-	var single, multi T
-	var errSingle, errMulti error
-	withGOMAXPROCS(1, func() { single, errSingle = gen() })
-	withGOMAXPROCS(4, func() { multi, errMulti = gen() })
-	if (errSingle == nil) != (errMulti == nil) {
-		t.Fatalf("%s: errors differ: %v vs %v", name, errSingle, errMulti)
-	}
-	if errSingle != nil {
-		t.Fatalf("%s: %v", name, errSingle)
-	}
-	if !reflect.DeepEqual(single, multi) {
-		t.Errorf("%s: GOMAXPROCS=1 and 4 disagree\n  1: %+v\n  4: %+v", name, single, multi)
-	}
-}
+// Cross-engine equivalence and GOMAXPROCS determinism for the
+// fanned-out paths in this package live in engine_test.go, which
+// registers every engine-accepting entry point into the generic
+// enginetest suite. This file keeps the behavioral tests and the
+// benchmark pairs.
 
 // waterfallPowers returns a small probe-power range spanning
 // measurable BERs for the paper circuit.
@@ -42,57 +21,6 @@ func waterfallPowers(t testing.TB) (core.Params, []float64) {
 	p1 := c.MinProbePowerMW(1e-1)
 	p3 := c.MinProbePowerMW(1e-3)
 	return base, []float64{p1, (p1 + p3) / 2, p3}
-}
-
-// TestBERWaterfallMatchesSerialOracle: the fanned-out waterfall emits
-// points bit-identical to the serial walk — same derived per-point
-// seeds, same measurements.
-func TestBERWaterfallMatchesSerialOracle(t *testing.T) {
-	base, powers := waterfallPowers(t)
-	got, err := BERWaterfall(base, powers, 20_000, 41)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := BERWaterfallSerial(base, powers, 20_000, 41)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("parallel %+v vs serial %+v", got, want)
-	}
-}
-
-func TestBERWaterfallDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	base, powers := waterfallPowers(t)
-	assertDeterministic(t, "BERWaterfall", func() ([]WaterfallPoint, error) {
-		return BERWaterfall(base, powers, 10_000, 42)
-	})
-}
-
-// TestAccuracyVsLengthMatchesSerialOracle: the fanned-out study is
-// bit-identical to the Step-per-cycle oracle — the same derived
-// per-trial seeds drive the packed and serial datapaths.
-func TestAccuracyVsLengthMatchesSerialOracle(t *testing.T) {
-	s := newTestSim(t, 0, 80)
-	lengths := []int{1, 63, 64, 0, 65, 300}
-	got, err := s.AccuracyVsLength(0.5, lengths, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := s.AccuracyVsLengthSerial(0.5, lengths, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("parallel %+v vs serial %+v", got, want)
-	}
-}
-
-func TestAccuracyVsLengthDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	s := newTestSim(t, 0, 81)
-	assertDeterministic(t, "AccuracyVsLength", func() ([]AccuracyPoint, error) {
-		return s.AccuracyVsLength(0.5, []int{64, 256}, 6)
-	})
 }
 
 // TestAccuracyVsLengthRepeatable: the study derives its randomness

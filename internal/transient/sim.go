@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/parallel"
 	"repro/internal/stochastic"
 )
@@ -252,19 +253,24 @@ func (s *Simulator) accuracyReduce(valid []int, trials int, sq []float64) []Accu
 	return out
 }
 
-// AccuracyVsLength measures the end-to-end RMSE at input x for each
+// AccuracyVsLengthOn measures the end-to-end RMSE at input x for each
 // stream length, averaging over trials runs — the §V.B trade-off:
 // transmission errors and stochastic fluctuation both shrink as
 // streams lengthen, at proportional cost in throughput.
 //
-// The (length, trial) pairs fan out over the internal/parallel worker
-// pool like NoiseStudy's combinations: trial i runs the word-parallel
-// noisy path with SNG and noise seeds derived from the simulator's
-// seed and i alone (trialSeeds over a salted stream), so the study is
-// bit-identical to AccuracyVsLengthSerial, deterministic on any core
-// count, and identical across repeated calls — it does not advance
-// the simulator's generators or its serial noise stream.
-func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
+// The (length, trial) pairs are independent work items dispatched on
+// the given engine like NoiseStudy's combinations: trial i runs the
+// word-parallel noisy path with SNG and noise seeds derived from the
+// simulator's seed and i alone (trialSeeds over a salted stream), so
+// the study is bit-identical on every conforming engine, deterministic
+// on any core count, and identical across repeated calls — it does not
+// advance the simulator's generators or its serial noise stream. A nil
+// engine is an error. If several trials fail, the error of the lowest
+// failing index is returned (a deterministic choice).
+func (s *Simulator) AccuracyVsLengthOn(e engine.Engine, x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
+	if err := engine.Check(e); err != nil {
+		return nil, err
+	}
 	if trials < 1 {
 		trials = 1
 	}
@@ -273,7 +279,7 @@ func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) ([]Ac
 	sigma := s.SigmaMW
 	sq := make([]float64, len(valid)*trials)
 	errs := make([]error, len(sq))
-	parallel.For(len(sq), func(i int) {
+	e.For(len(sq), func(i int) {
 		unitSeed, noiseSeed := trialSeeds(s.seed^accuracySalt, i)
 		g := NewGaussian(stochastic.NewSplitMix64(noiseSeed))
 		got, err := s.Unit.EvaluateNoisySeeded(unitSeed, x, valid[i/trials], func(dst []float64) {
@@ -294,34 +300,17 @@ func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) ([]Ac
 	return s.accuracyReduce(valid, trials, sq), nil
 }
 
-// AccuracyVsLengthSerial is the retained bit-serial oracle for
-// AccuracyVsLength: every trial builds a fresh unit from the same
-// derived seed (core.NewUnit seeds its generators exactly as the
-// packed path's per-trial sources are seeded) and walks it one noisy
-// Step per cycle, trials in index order on the calling goroutine.
+// AccuracyVsLength is AccuracyVsLengthOn on the process-default
+// engine.
+func (s *Simulator) AccuracyVsLength(x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
+	return s.AccuracyVsLengthOn(engine.Default(), x, lengths, trials)
+}
+
+// AccuracyVsLengthSerial is the retained serial oracle for
+// AccuracyVsLength: the same implementation on engine.Serial, trials
+// in index order on the calling goroutine.
 func (s *Simulator) AccuracyVsLengthSerial(x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
-	if trials < 1 {
-		trials = 1
-	}
-	valid := accuracyLengths(lengths)
-	want := s.Unit.Poly.Eval(x)
-	sq := make([]float64, len(valid)*trials)
-	for i := range sq {
-		unitSeed, noiseSeed := trialSeeds(s.seed^accuracySalt, i)
-		u, err := core.NewUnit(s.Unit.Circuit, s.Unit.Poly, unitSeed)
-		if err != nil {
-			return nil, err
-		}
-		g := NewGaussian(stochastic.NewSplitMix64(noiseSeed))
-		length := valid[i/trials]
-		ones := 0
-		for t := 0; t < length; t++ {
-			ones += u.Step(x, g.NextScaled(s.SigmaMW)).Bit
-		}
-		d := float64(ones)/float64(length) - want
-		sq[i] = d * d
-	}
-	return s.accuracyReduce(valid, trials, sq), nil
+	return s.AccuracyVsLengthOn(engine.Serial, x, lengths, trials)
 }
 
 // String implements fmt.Stringer.

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/parallel"
+	"repro/internal/engine"
 	"repro/internal/stochastic"
 )
 
@@ -61,11 +61,10 @@ func (s *Simulator) syncLevels() syncLevels {
 }
 
 // point measures offset k of a `points`-offset sweep with `bits`
-// transmitted pattern pairs, drawing noise from g in slot order. The
-// block flag selects 64-sample Gaussian fills (the word-parallel path)
-// or per-slot draws (the serial oracle); the two consume g identically
-// and count identical errors.
-func (l syncLevels) point(k, points, bits int, g *Gaussian, sigma float64, block bool) SyncPoint {
+// transmitted pattern pairs, drawing noise from g in slot order in
+// 64-sample blocks (Gaussian.FillScaled consumes g exactly as per-slot
+// draws would, so block size does not affect the error count).
+func (l syncLevels) point(k, points, bits int, g *Gaussian, sigma float64) SyncPoint {
 	// Sample at slot midpoints so the window classification is
 	// unambiguous at the boundaries.
 	off := l.bitT * (float64(k) + 0.5) / float64(points)
@@ -75,18 +74,12 @@ func (l syncLevels) point(k, points, bits int, g *Gaussian, sigma float64, block
 		oneLvl, zeroLvl = l.oneIn, l.zeroIn
 	}
 	errs := 0
-	if block {
-		var noise [64]float64
-		for t := 0; t < bits; t += 64 {
-			nb := min(64, bits-t)
-			g.FillScaled(noise[:nb], sigma)
-			for i := 0; i < nb; i++ {
-				errs += l.slotError(t+i, oneLvl, zeroLvl, noise[i])
-			}
-		}
-	} else {
-		for t := 0; t < bits; t++ {
-			errs += l.slotError(t, oneLvl, zeroLvl, g.NextScaled(sigma))
+	var noise [64]float64
+	for t := 0; t < bits; t += 64 {
+		nb := min(64, bits-t)
+		g.FillScaled(noise[:nb], sigma)
+		for i := 0; i < nb; i++ {
+			errs += l.slotError(t+i, oneLvl, zeroLvl, noise[i])
 		}
 	}
 	return SyncPoint{
@@ -123,7 +116,7 @@ func (s *Simulator) offsetNoise(k int) *Gaussian {
 	return NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(s.seed^syncSalt, k)))
 }
 
-// SyncSweep quantifies the synchronization requirement the paper's
+// SyncSweepOn quantifies the synchronization requirement the paper's
 // §V.D raises for pulse-based pumps: the filter is only tuned while
 // the 26 ps pulse is present, so a detector sampling outside the
 // pulse window sees the relaxed (untuned) filter and the computation
@@ -136,37 +129,36 @@ func (s *Simulator) offsetNoise(k int) *Gaussian {
 // probe channel aligns, so the '1' level collapses onto the '0'
 // level and the BER rises toward 0.5.
 //
-// Offsets fan out over the internal/parallel worker pool, each drawing
-// block Gaussian noise from a generator seeded by the simulator's seed
-// and the offset index alone, so the sweep is bit-identical to
-// SyncSweepSerial and deterministic on any core count. It does not
-// advance the simulator's serial noise stream.
-func (s *Simulator) SyncSweep(points, bits int) []SyncPoint {
+// Offsets are independent work items dispatched on the given engine,
+// each drawing block Gaussian noise from a generator seeded by the
+// simulator's seed and the offset index alone, so the sweep is
+// bit-identical on every conforming engine and deterministic on any
+// core count. It does not advance the simulator's serial noise
+// stream. A nil engine panics (this entry point has no error return).
+func (s *Simulator) SyncSweepOn(e engine.Engine, points, bits int) []SyncPoint {
+	engine.Use(e)
 	if points < 2 {
 		points = 2
 	}
 	l := s.syncLevels()
 	sigma := s.SigmaMW
 	out := make([]SyncPoint, points)
-	parallel.For(points, func(k int) {
-		out[k] = l.point(k, points, bits, s.offsetNoise(k), sigma, true)
+	e.For(points, func(k int) {
+		out[k] = l.point(k, points, bits, s.offsetNoise(k), sigma)
 	})
 	return out
 }
 
-// SyncSweepSerial is the retained bit-serial oracle for SyncSweep:
-// the same per-offset derived noise generators consumed one sample
-// per slot, offsets walked in order on the calling goroutine.
+// SyncSweep is SyncSweepOn on the process-default engine.
+func (s *Simulator) SyncSweep(points, bits int) []SyncPoint {
+	return s.SyncSweepOn(engine.Default(), points, bits)
+}
+
+// SyncSweepSerial is the retained serial oracle for SyncSweep: the
+// same per-offset derived noise generators, offsets walked in order
+// on the calling goroutine via engine.Serial.
 func (s *Simulator) SyncSweepSerial(points, bits int) []SyncPoint {
-	if points < 2 {
-		points = 2
-	}
-	l := s.syncLevels()
-	out := make([]SyncPoint, points)
-	for k := range out {
-		out[k] = l.point(k, points, bits, s.offsetNoise(k), s.SigmaMW, false)
-	}
-	return out
+	return s.SyncSweepOn(engine.Serial, points, bits)
 }
 
 // relaxedPower returns the received power with the filter at its

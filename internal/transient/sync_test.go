@@ -1,7 +1,6 @@
 package transient
 
 import (
-	"runtime"
 	"strings"
 	"testing"
 )
@@ -54,42 +53,6 @@ func TestSyncSweepDegeneratePoints(t *testing.T) {
 	s := newTestSim(t, 0, 92)
 	if got := s.SyncSweep(1, 100); len(got) != 2 {
 		t.Errorf("clamped points = %d", len(got))
-	}
-}
-
-// TestSyncSweepMatchesSerialOracle: the word-parallel sweep (block
-// Gaussian fills, offsets over the pool) and the bit-serial oracle
-// draw from the same per-offset derived generators and must agree
-// exactly — BER counts included.
-func TestSyncSweepMatchesSerialOracle(t *testing.T) {
-	// A moderately noisy link so per-slot decisions actually flip.
-	s := newTestSim(t, 0.02, 93)
-	got := s.SyncSweep(13, 997) // odd counts exercise partial blocks
-	want := s.SyncSweepSerial(13, 997)
-	if len(got) != len(want) {
-		t.Fatalf("%d vs %d points", len(got), len(want))
-	}
-	for k := range got {
-		if got[k] != want[k] {
-			t.Errorf("offset %d: parallel %+v vs serial %+v", k, got[k], want[k])
-		}
-	}
-}
-
-// TestSyncSweepDeterministicAcrossGOMAXPROCS: per-offset seeds derive
-// from the simulator seed and the offset index alone.
-func TestSyncSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	run := func(procs int) []SyncPoint {
-		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
-		s := newTestSim(t, 0.02, 94)
-		return s.SyncSweep(16, 500)
-	}
-	single := run(1)
-	multi := run(4)
-	for k := range single {
-		if single[k] != multi[k] {
-			t.Errorf("offset %d: GOMAXPROCS=1 %+v vs 4 %+v", k, single[k], multi[k])
-		}
 	}
 }
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/parallel"
+	"repro/internal/engine"
 	"repro/internal/stochastic"
 )
 
@@ -59,26 +59,29 @@ func waterfallPoint(base core.Params, poly stochastic.BernsteinPoly, powerMW flo
 	}, nil
 }
 
-// BERWaterfall measures the worst-case bit-error rate at each probe
+// BERWaterfallOn measures the worst-case bit-error rate at each probe
 // power and pairs it with the Eq. (9) prediction — the standard link
 // validation curve. Each point rebuilds the circuit at the given
 // power and transmits `bits` worst-case pattern pairs.
 //
-// Points are independent measurements, so they fan out over the
-// internal/parallel worker pool, each with unit and simulator seeds
-// derived from the base seed and the point index alone
-// (stochastic.DeriveSeed) — the waterfall is bit-identical to
-// BERWaterfallSerial and deterministic on any core count. If several
-// points fail, the error of the lowest failing index is returned (a
-// deterministic choice).
-func BERWaterfall(base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
+// Points are independent measurements dispatched on the given engine,
+// each with unit and simulator seeds derived from the base seed and
+// the point index alone (stochastic.DeriveSeed) — the waterfall is
+// bit-identical on every conforming engine and deterministic on any
+// core count. A nil engine is an error. If several points fail, the
+// error of the lowest failing index is returned (a deterministic
+// choice).
+func BERWaterfallOn(e engine.Engine, base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
+	if err := engine.Check(e); err != nil {
+		return nil, err
+	}
 	if bits < 1 {
 		return nil, fmt.Errorf("transient: waterfall needs bits >= 1")
 	}
 	poly := defaultPoly(base.Order)
 	out := make([]WaterfallPoint, len(powersMW))
 	errs := make([]error, len(powersMW))
-	parallel.For(len(powersMW), func(i int) {
+	e.For(len(powersMW), func(i int) {
 		unitSeed, simSeed := waterfallSeeds(seed, i)
 		out[i], errs[i] = waterfallPoint(base, poly, powersMW[i], bits, unitSeed, simSeed)
 	})
@@ -90,24 +93,16 @@ func BERWaterfall(base core.Params, powersMW []float64, bits int, seed uint64) (
 	return out, nil
 }
 
+// BERWaterfall is BERWaterfallOn on the process-default engine.
+func BERWaterfall(base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
+	return BERWaterfallOn(engine.Default(), base, powersMW, bits, seed)
+}
+
 // BERWaterfallSerial is the retained serial oracle for BERWaterfall:
 // the same per-point derived seeds, points walked in order on the
-// calling goroutine.
+// calling goroutine via engine.Serial.
 func BERWaterfallSerial(base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
-	if bits < 1 {
-		return nil, fmt.Errorf("transient: waterfall needs bits >= 1")
-	}
-	poly := defaultPoly(base.Order)
-	out := make([]WaterfallPoint, len(powersMW))
-	for i, p := range powersMW {
-		unitSeed, simSeed := waterfallSeeds(seed, i)
-		pt, err := waterfallPoint(base, poly, p, bits, unitSeed, simSeed)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = pt
-	}
-	return out, nil
+	return BERWaterfallOn(engine.Serial, base, powersMW, bits, seed)
 }
 
 // defaultPoly builds an arbitrary representable polynomial of the

@@ -3,6 +3,8 @@ package transient
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/engine"
 )
 
 // TracePoint is one time sample of the transient waveform.
@@ -76,29 +78,13 @@ func (g traceGeom) appendSlot(out []TracePoint, slot, bit int, receivedMW float6
 	return out
 }
 
-// Trace simulates `bits` slots at input probability x with
-// samplesPerBit time samples each and returns the waveform. The pump
-// fires at the start of each slot; detection is gated to the pulse
-// window, after which the filter relaxes and the received power is
-// meaningless for decision purposes (modeled as the signal decaying
-// to the unselected floor).
-//
-// It runs word-parallel, mirroring MeasureEye: the unit decodes 64
-// cycles per SNG word draw (core.Unit.Cycles, received powers from the
-// shared table) and the detector noise arrives in per-slot blocks
-// (Gaussian.FillScaled) — one decision sample plus samplesPerBit
-// display samples per slot, consuming the noise stream exactly as the
-// serial path does. The waveform is bit-identical to TraceSerial from
-// equal starting state. A non-positive bit count is an error (an
-// empty trace has no waveform), matching the length <= 0 contract of
-// the evaluation entry points; samplesPerBit is clamped to at least 2.
-func (s *Simulator) Trace(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
-	if bits <= 0 {
-		return nil, fmt.Errorf("transient: trace needs bits >= 1, got %d", bits)
-	}
-	if samplesPerBit < 2 {
-		samplesPerBit = 2
-	}
+// traceWalk runs the whole trace as one sequential walk: the unit
+// decodes 64 cycles per SNG word draw (core.Unit.Cycles, received
+// powers from the shared table) and the detector noise arrives in
+// per-slot blocks (Gaussian.FillScaled) — one decision sample plus
+// samplesPerBit display samples per slot, consuming the noise stream
+// exactly as per-slot draws would.
+func (s *Simulator) traceWalk(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
 	g := s.traceGeom(samplesPerBit)
 	threshold := s.Unit.ThresholdMW()
 	out := make([]TracePoint, 0, bits*samplesPerBit)
@@ -121,27 +107,47 @@ func (s *Simulator) Trace(x float64, bits, samplesPerBit int) ([]TracePoint, err
 	return out, nil
 }
 
-// TraceSerial is the retained bit-serial oracle for Trace: one Step
-// (with its decision noise draw) and samplesPerBit display noise draws
-// per slot.
-func (s *Simulator) TraceSerial(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
+// TraceOn simulates `bits` slots at input probability x with
+// samplesPerBit time samples each and returns the waveform. The pump
+// fires at the start of each slot; detection is gated to the pulse
+// window, after which the filter relaxes and the received power is
+// meaningless for decision purposes (modeled as the signal decaying
+// to the unselected floor).
+//
+// The trace consumes the simulator's single sequential noise stream,
+// so it cannot fan out: the walk is dispatched as one work item on
+// the given engine, and every conforming engine emits the identical
+// waveform. A non-positive bit count is an error (an empty trace has
+// no waveform), matching the length <= 0 contract of the evaluation
+// entry points; samplesPerBit is clamped to at least 2; a nil engine
+// is an error.
+func (s *Simulator) TraceOn(e engine.Engine, x float64, bits, samplesPerBit int) ([]TracePoint, error) {
+	if err := engine.Check(e); err != nil {
+		return nil, err
+	}
 	if bits <= 0 {
 		return nil, fmt.Errorf("transient: trace needs bits >= 1, got %d", bits)
 	}
 	if samplesPerBit < 2 {
 		samplesPerBit = 2
 	}
-	g := s.traceGeom(samplesPerBit)
-	out := make([]TracePoint, 0, bits*samplesPerBit)
-	noise := make([]float64, samplesPerBit)
-	for b := 0; b < bits; b++ {
-		r := s.Step(x)
-		for k := range noise {
-			noise[k] = s.noise.NextScaled(s.SigmaMW)
-		}
-		out = g.appendSlot(out, b, r.Bit, r.ReceivedMW, noise)
-	}
-	return out, nil
+	var out []TracePoint
+	var walkErr error
+	e.For(1, func(int) {
+		out, walkErr = s.traceWalk(x, bits, samplesPerBit)
+	})
+	return out, walkErr
+}
+
+// Trace is TraceOn on the process-default engine.
+func (s *Simulator) Trace(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
+	return s.TraceOn(engine.Default(), x, bits, samplesPerBit)
+}
+
+// TraceSerial is the retained serial oracle for Trace: the same walk
+// on engine.Serial.
+func (s *Simulator) TraceSerial(x float64, bits, samplesPerBit int) ([]TracePoint, error) {
+	return s.TraceOn(engine.Serial, x, bits, samplesPerBit)
 }
 
 // EyeStats summarizes the gated received-power samples of a run,
@@ -208,18 +214,13 @@ func (a *eyeAccum) stats() EyeStats {
 	return e
 }
 
-// MeasureEye runs `bits` noisy slots at input probability x and
-// aggregates the decision-instant statistics. It runs word-parallel:
-// the unit decodes 64 cycles per SNG word draw (core.Unit.Cycles, with
+// eyeWalk runs the whole eye measurement as one sequential walk: the
+// unit decodes 64 cycles per SNG word draw (core.Unit.Cycles, with
 // received powers read from the shared table) and the detector noise
-// arrives in 64-sample blocks (Gaussian.FillScaled). The unit's
-// generators and the simulator's noise stream advance exactly as the
-// bit-serial path does, so the statistics are bit-identical to
-// MeasureEyeSerial from equal starting state.
-func (s *Simulator) MeasureEye(x float64, bits int) EyeStats {
-	if bits <= 0 {
-		return newEyeAccum().stats()
-	}
+// arrives in 64-sample blocks (Gaussian.FillScaled), advancing the
+// unit's generators and the simulator's noise stream exactly as
+// per-slot draws would.
+func (s *Simulator) eyeWalk(x float64, bits int) EyeStats {
 	acc := newEyeAccum()
 	var noise [64]float64
 	sel := s.Unit.Circuit.SelectedChannel
@@ -236,15 +237,33 @@ func (s *Simulator) MeasureEye(x float64, bits int) EyeStats {
 	return acc.stats()
 }
 
-// MeasureEyeSerial is the retained bit-serial oracle for MeasureEye:
-// one Step and one noise draw per slot.
-func (s *Simulator) MeasureEyeSerial(x float64, bits int) EyeStats {
-	acc := newEyeAccum()
-	for t := 0; t < bits; t++ {
-		r := s.Unit.Step(x, 0)
-		acc.add(r.Z[r.Selected], r.ReceivedMW+s.noise.NextScaled(s.SigmaMW))
+// MeasureEyeOn runs `bits` noisy slots at input probability x and
+// aggregates the decision-instant statistics. Like TraceOn, the
+// measurement consumes the simulator's single sequential noise
+// stream, so the walk is dispatched as one work item on the given
+// engine and every conforming engine emits identical statistics. A
+// nil engine panics (this entry point has no error return).
+func (s *Simulator) MeasureEyeOn(e engine.Engine, x float64, bits int) EyeStats {
+	engine.Use(e)
+	if bits <= 0 {
+		return newEyeAccum().stats()
 	}
-	return acc.stats()
+	var stats EyeStats
+	e.For(1, func(int) {
+		stats = s.eyeWalk(x, bits)
+	})
+	return stats
+}
+
+// MeasureEye is MeasureEyeOn on the process-default engine.
+func (s *Simulator) MeasureEye(x float64, bits int) EyeStats {
+	return s.MeasureEyeOn(engine.Default(), x, bits)
+}
+
+// MeasureEyeSerial is the retained serial oracle for MeasureEye: the
+// same walk on engine.Serial.
+func (s *Simulator) MeasureEyeSerial(x float64, bits int) EyeStats {
+	return s.MeasureEyeOn(engine.Serial, x, bits)
 }
 
 // String implements fmt.Stringer.

@@ -90,40 +90,6 @@ func TestTraceRejectsBadBits(t *testing.T) {
 	}
 }
 
-// TestTraceMatchesSerialOracle: the word-parallel waveform writer
-// (core.Unit.Cycles + per-slot block noise fills) emits points
-// bit-identical to the Step-per-slot oracle from equal starting state,
-// and both consume the generators identically.
-func TestTraceMatchesSerialOracle(t *testing.T) {
-	for _, c := range []struct{ bits, spb int }{
-		{1, 2}, {3, 5}, {63, 2}, {64, 3}, {65, 4}, {200, 7},
-	} {
-		word := newTestSim(t, 0, 75)
-		serial := newTestSim(t, 0, 75)
-		got, err := word.Trace(0.5, c.bits, c.spb)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want, err := serial.TraceSerial(0.5, c.bits, c.spb)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(got) != len(want) {
-			t.Fatalf("bits=%d spb=%d: %d vs %d points", c.bits, c.spb, len(got), len(want))
-		}
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("bits=%d spb=%d: point %d: word %+v vs serial %+v", c.bits, c.spb, i, got[i], want[i])
-			}
-		}
-		// Both paths consumed the unit SNGs and the noise stream
-		// identically, so a follow-up eye measurement still agrees.
-		if g, w := word.MeasureEye(0.3, 128), serial.MeasureEyeSerial(0.3, 128); g != w {
-			t.Fatalf("bits=%d spb=%d: generator states diverged: %+v vs %+v", c.bits, c.spb, g, w)
-		}
-	}
-}
-
 func TestMeasureEyeSeparation(t *testing.T) {
 	s := newTestSim(t, 0, 70)
 	e := s.MeasureEye(0.5, 20_000)
@@ -152,29 +118,6 @@ func TestMeasureEyeSeparation(t *testing.T) {
 	}
 	if !strings.Contains(e.String(), "opening") {
 		t.Error("String() malformed")
-	}
-}
-
-// TestMeasureEyeMatchesSerialOracle: the word-parallel eye measurement
-// (core.Unit.Cycles + block noise fills) accumulates bit-identical
-// statistics to the Step-per-slot oracle from equal starting state,
-// and both leave the generators in the same state.
-func TestMeasureEyeMatchesSerialOracle(t *testing.T) {
-	for _, bits := range []int{1, 63, 64, 65, 1000, 4097} {
-		word := newTestSim(t, 0, 72)
-		serial := newTestSim(t, 0, 72)
-		got := word.MeasureEye(0.5, bits)
-		want := serial.MeasureEyeSerial(0.5, bits)
-		if got != want {
-			t.Fatalf("bits=%d: word %+v vs serial %+v", bits, got, want)
-		}
-		// Both paths consumed the unit SNGs and the noise stream
-		// identically, so a follow-up measurement still agrees.
-		got2 := word.MeasureEye(0.3, 128)
-		want2 := serial.MeasureEyeSerial(0.3, 128)
-		if got2 != want2 {
-			t.Fatalf("bits=%d: generator states diverged: %+v vs %+v", bits, got2, want2)
-		}
 	}
 }
 
