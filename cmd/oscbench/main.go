@@ -15,6 +15,7 @@
 //	oscbench -fig waterfall    # BER waterfall, parallel over probe powers
 //	oscbench -fig trace        # pulse-gated transient waveform (word-parallel)
 //	oscbench -fig video        # gamma video batch (cross-frame LUT cache)
+//	oscbench -fig yield        # checkpointable process-variation yield study
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
 //
 // Every sweep dispatches on a deterministic evaluation engine
@@ -27,13 +28,24 @@
 //	oscbench -timing           # print per-figure wall time
 //	oscbench -grid 12          # denser Fig 6(a) grid (>= 2)
 //	oscbench -sweep 21         # denser Fig 7(a) spacing sweep (>= 2)
+//
+// Long sweeps are interruptible: SIGINT (or -timeout) cancels at the
+// next item boundary and reports a typed partial-result error instead
+// of crashing. The yield study can additionally snapshot to disk and
+// resume, reassembling bit-identical results:
+//
+//	oscbench -fig yield -samples 500 -checkpoint yield.json
+//	^C                         # interrupt; completed dies are on disk
+//	oscbench -fig yield -samples 500 -checkpoint yield.json -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
@@ -47,12 +59,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5a, 5b, 5c, 6a, 6b, 6c, 7a, 7b, summary, tradeoff, sweep, noise, edge, waterfall, trace, video, ablation, all")
+	fig := flag.String("fig", "all", "figure to regenerate ("+strings.Join(figureKeys(), ", ")+", all)")
 	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a) (>= 2)")
 	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a) (>= 2)")
 	workers := flag.Int("workers", 0, "cap the parallel worker pool (0 = all cores)")
 	engName := flag.String("engine", "", "evaluation engine for every sweep ("+strings.Join(engine.Names(), ", ")+"; default: "+engine.Default().Name()+")")
 	timing := flag.Bool("timing", false, "print per-figure wall time")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+	samples := flag.Int("samples", 200, "dies per sigma for -fig yield (>= 1)")
+	checkpoint := flag.String("checkpoint", "", "snapshot file for -fig yield (enables interrupt/resume)")
+	resume := flag.Bool("resume", false, "resume -fig yield from the -checkpoint file")
 	flag.Parse()
 
 	if *engName != "" {
@@ -65,62 +81,89 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(os.Stdout, *fig, *gridN, *sweepN, *workers, *timing); err != nil {
+
+	// SIGINT cancels the sweep context; conforming dispatch paths stop
+	// at the next item boundary and surface a *engine.Partial. A second
+	// SIGINT (after stop()) kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := renderConfig{
+		gridN:      *gridN,
+		sweepN:     *sweepN,
+		samples:    *samples,
+		checkpoint: *checkpoint,
+		resume:     *resume,
+	}
+	if err := run(ctx, os.Stdout, *fig, cfg, *workers, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "oscbench:", err)
 		os.Exit(1)
 	}
+}
+
+// renderConfig carries the per-figure knobs into the renderers.
+type renderConfig struct {
+	gridN, sweepN int
+	samples       int
+	checkpoint    string
+	resume        bool
 }
 
 // figure is one renderable section: its -fig key, display title and
 // generator.
 type figure struct {
 	key, title string
-	render     func(w io.Writer, gridN, sweepN int) error
+	render     func(ctx context.Context, w io.Writer, cfg renderConfig) error
 }
 
 // figures lists every section in -fig all order.
 var figures = []figure{
-	{"5a", "Fig 5(a)", func(w io.Writer, _, _ int) error {
+	{"5a", "Fig 5(a)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		return dse.RenderFig5Case(w, dse.Fig5A())
 	}},
-	{"5b", "Fig 5(b)", func(w io.Writer, _, _ int) error {
+	{"5b", "Fig 5(b)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		return dse.RenderFig5Case(w, dse.Fig5B())
 	}},
-	{"5c", "Fig 5(c)", func(w io.Writer, _, _ int) error {
+	{"5c", "Fig 5(c)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		return dse.RenderFig5C(w, dse.Fig5C())
 	}},
-	{"6a", "Fig 6(a)", func(w io.Writer, gridN, _ int) error {
-		return dse.RenderFig6A(w, dse.Fig6A(gridN, gridN))
+	{"6a", "Fig 6(a)", func(_ context.Context, w io.Writer, cfg renderConfig) error {
+		return dse.RenderFig6A(w, dse.Fig6A(cfg.gridN, cfg.gridN))
 	}},
-	{"6b", "Fig 6(b)", func(w io.Writer, _, _ int) error {
+	{"6b", "Fig 6(b)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		pts, err := dse.Fig6B([]float64{1e-2, 1e-4, 1e-6})
 		if err != nil {
 			return err
 		}
 		return dse.RenderFig6B(w, pts)
 	}},
-	{"6c", "Fig 6(c)", func(w io.Writer, _, _ int) error {
+	{"6c", "Fig 6(c)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		return dse.RenderFig6C(w, dse.Fig6C())
 	}},
 	{"7a", "Fig 7(a)", renderFig7A},
-	{"7b", "Fig 7(b)", func(w io.Writer, _, _ int) error {
+	{"7b", "Fig 7(b)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		rows, err := dse.Fig7B([]int{2, 4, 8, 12, 16})
 		if err != nil {
 			return err
 		}
 		return dse.RenderFig7B(w, rows)
 	}},
-	{"summary", "Summary", func(w io.Writer, _, _ int) error {
+	{"summary", "Summary", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		s, err := dse.Summary()
 		if err != nil {
 			return err
 		}
 		return dse.RenderSummary(w, s)
 	}},
-	{"tradeoff", "Throughput-accuracy trade-off (§V.B extension)", func(w io.Writer, _, _ int) error {
+	{"tradeoff", "Throughput-accuracy trade-off (§V.B extension)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		return renderTradeoff(w)
 	}},
-	{"sweep", "Accuracy vs stream length (word-parallel batch engine)", func(w io.Writer, _, _ int) error {
+	{"sweep", "Accuracy vs stream length (word-parallel batch engine)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		const sweepPoints = 17
 		rows, err := dse.StreamLengthSweep([]int{64, 256, 1024, 4096, 16384}, sweepPoints, 9)
 		if err != nil {
@@ -128,7 +171,7 @@ var figures = []figure{
 		}
 		return dse.RenderStreamLengthSweep(w, rows, sweepPoints)
 	}},
-	{"noise", "Monte-Carlo noise study (accuracy/BER vs length, probe power, sigma)", func(w io.Writer, _, _ int) error {
+	{"noise", "Monte-Carlo noise study (accuracy/BER vs length, probe power, sigma)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		spec, err := dse.DefaultNoiseStudySpec()
 		if err != nil {
 			return err
@@ -139,7 +182,7 @@ var figures = []figure{
 		}
 		return dse.RenderNoiseStudy(w, rows, spec)
 	}},
-	{"edge", "Image PSNR vs stream length (packed tiled engine)", func(w io.Writer, _, _ int) error {
+	{"edge", "Image PSNR vs stream length (packed tiled engine)", func(_ context.Context, w io.Writer, _ renderConfig) error {
 		rows, err := dse.EdgeStudy([]int{64, 256, 1024, 4096}, 7)
 		if err != nil {
 			return err
@@ -149,18 +192,37 @@ var figures = []figure{
 	{"waterfall", "BER waterfall (parallel over probe powers)", renderWaterfall},
 	{"trace", "Transient waveform (word-parallel trace)", renderTrace},
 	{"video", "Gamma video batch (cross-frame LUT cache)", renderVideo},
+	{"yield", "Process-variation yield study (checkpointable)", renderYieldStudy},
 	{"ablation", "Ablations", renderAblations},
 }
 
-func run(w io.Writer, fig string, gridN, sweepN, workers int, timing bool) error {
-	if gridN < 2 {
-		return fmt.Errorf("-grid %d: need >= 2 points per axis", gridN)
+// figureKeys lists every registered -fig key in -fig all order.
+func figureKeys() []string {
+	keys := make([]string, len(figures))
+	for i, f := range figures {
+		keys[i] = f.key
 	}
-	if sweepN < 2 {
-		return fmt.Errorf("-sweep %d: need >= 2 points", sweepN)
+	return keys
+}
+
+func run(ctx context.Context, w io.Writer, fig string, cfg renderConfig, workers int, timing bool) error {
+	if cfg.gridN < 2 {
+		return fmt.Errorf("-grid %d: need >= 2 points per axis", cfg.gridN)
+	}
+	if cfg.sweepN < 2 {
+		return fmt.Errorf("-sweep %d: need >= 2 points", cfg.sweepN)
+	}
+	if cfg.samples < 1 {
+		return fmt.Errorf("-samples %d: need >= 1 die per sigma", cfg.samples)
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers %d: need >= 0", workers)
+	}
+	if (cfg.checkpoint != "" || cfg.resume) && fig != "yield" {
+		return fmt.Errorf("-checkpoint/-resume apply to -fig yield only (got -fig %s)", fig)
+	}
+	if cfg.resume && cfg.checkpoint == "" {
+		return fmt.Errorf("-resume needs a -checkpoint file")
 	}
 	if workers > 0 {
 		// The worker pool sizes itself from GOMAXPROCS; capping it here
@@ -175,11 +237,14 @@ func run(w io.Writer, fig string, gridN, sweepN, workers int, timing bool) error
 			continue
 		}
 		any = true
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopping before %s: %w", f.key, err)
+		}
 		if _, err := fmt.Fprintf(w, "\n==== %s ====\n\n", f.title); err != nil {
 			return err
 		}
 		start := time.Now()
-		if err := f.render(w, gridN, sweepN); err != nil {
+		if err := f.render(ctx, w, cfg); err != nil {
 			return err
 		}
 		if timing {
@@ -189,13 +254,13 @@ func run(w io.Writer, fig string, gridN, sweepN, workers int, timing bool) error
 		}
 	}
 	if !any {
-		return fmt.Errorf("unknown figure %q", fig)
+		return fmt.Errorf("unknown figure %q (available: %s, all)", fig, strings.Join(figureKeys(), ", "))
 	}
 	return nil
 }
 
-func renderFig7A(w io.Writer, _, sweepN int) error {
-	series, err := dse.Fig7A([]int{2, 4, 6}, sweepN)
+func renderFig7A(_ context.Context, w io.Writer, cfg renderConfig) error {
+	series, err := dse.Fig7A([]int{2, 4, 6}, cfg.sweepN)
 	if err != nil {
 		return err
 	}
@@ -219,7 +284,7 @@ func renderFig7A(w io.Writer, _, sweepN int) error {
 	return dse.RenderApplicationProfile(w, profile)
 }
 
-func renderAblations(w io.Writer, _, _ int) error {
+func renderAblations(ctx context.Context, w io.Writer, _ renderConfig) error {
 	if err := dse.RenderRingSensitivity(w, dse.RingSensitivity([]float64{0.75, 1.0, 1.25, 1.5})); err != nil {
 		return err
 	}
@@ -252,17 +317,17 @@ func renderAblations(w io.Writer, _, _ int) error {
 	if _, err := fmt.Fprintln(w); err != nil {
 		return err
 	}
-	return renderYield(w)
+	return renderYield(ctx, w)
 }
 
-func renderYield(w io.Writer) error {
+func renderYield(ctx context.Context, w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "Monte-Carlo process variation (ring resonance σ, 200 dies, BER target 1e-6):"); err != nil {
 		return err
 	}
 	p := core.PaperParams()
 	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
 	for _, sigma := range []float64{0.01, 0.05, 0.1, 0.2} {
-		r, err := core.AnalyzeYield(p, core.VariationSpec{
+		r, err := core.AnalyzeYieldCtx(ctx, engine.Default(), p, core.VariationSpec{
 			RingResonanceSigmaNM: sigma,
 			Samples:              200,
 			Seed:                 99,
@@ -281,11 +346,65 @@ func renderYield(w io.Writer) error {
 	return t.Render(w)
 }
 
+// yieldCheckpointEvery is the save cadence of the checkpointed yield
+// study: a durable snapshot every this many completed dies
+// (count-based so the cadence is deterministic).
+const yieldCheckpointEvery = 10
+
+// renderYieldStudy regenerates the standalone yield figure: one row
+// per ring-resonance sigma, -samples dies each, dispatched die-by-die
+// on the default engine. With -checkpoint the completed dies snapshot
+// to disk (and survive SIGINT); with -resume a matching snapshot is
+// loaded first and only the missing dies re-run — the reassembled
+// figure is bit-identical to an uninterrupted run.
+func renderYieldStudy(ctx context.Context, w io.Writer, cfg renderConfig) error {
+	s := dse.YieldStudy{
+		Params:    core.PaperParams(),
+		SigmasNM:  []float64{0.01, 0.05, 0.1, 0.2},
+		Samples:   cfg.samples,
+		Seed:      99,
+		TargetBER: 1e-6,
+	}
+	var points []dse.YieldPoint
+	var err error
+	if cfg.checkpoint != "" {
+		cp := dse.NewCheckpointer[core.DieOutcome](cfg.checkpoint, yieldCheckpointEvery, s.Key())
+		if cfg.resume {
+			restored, lerr := cp.Load()
+			if lerr != nil {
+				return lerr
+			}
+			if _, perr := fmt.Fprintf(w, "resumed %d/%d dies from %s\n", restored, s.N(), cfg.checkpoint); perr != nil {
+				return perr
+			}
+		}
+		points, err = s.RunCheckpointed(ctx, engine.Default(), cp)
+	} else {
+		points, err = s.RunCtx(ctx, engine.Default())
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%d dies per sigma, BER target %g, seed %d:\n", s.Samples, s.TargetBER, s.Seed); err != nil {
+		return err
+	}
+	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%.2f", pt.SigmaNM),
+			fmt.Sprintf("%.1f%%", pt.Result.Yield*100),
+			fmt.Sprintf("%.4f", pt.Result.MeanEyeMW),
+			fmt.Sprintf("%.3g", pt.Result.WorstBER),
+		)
+	}
+	return t.Render(w)
+}
+
 // renderWaterfall regenerates the BER waterfall: worst-case measured
 // vs Eq. (9) analytic BER across probe powers sized for BER 1e-1 down
 // to 1e-4. The points fan over the worker pool with per-point derived
 // seeds, so the table is identical at any -workers setting.
-func renderWaterfall(w io.Writer, _, _ int) error {
+func renderWaterfall(ctx context.Context, w io.Writer, _ renderConfig) error {
 	base := core.PaperParams()
 	c := core.MustCircuit(base)
 	powers := []float64{
@@ -294,7 +413,7 @@ func renderWaterfall(w io.Writer, _, _ int) error {
 		c.MinProbePowerMW(1e-3),
 		c.MinProbePowerMW(1e-4),
 	}
-	pts, err := transient.BERWaterfall(base, powers, 200_000, 29)
+	pts, err := transient.BERWaterfallCtx(ctx, engine.Default(), base, powers, 200_000, 29)
 	if err != nil {
 		return err
 	}
@@ -310,7 +429,7 @@ func renderWaterfall(w io.Writer, _, _ int) error {
 // the decision bit and the gated received-power peak. The trace runs
 // word-parallel (core.Unit.Cycles + block noise) and is single-stream,
 // so the table is identical at any -workers setting.
-func renderTrace(w io.Writer, _, _ int) error {
+func renderTrace(_ context.Context, w io.Writer, _ renderConfig) error {
 	p := core.PaperParams()
 	p.ProbePowerMW = core.MustCircuit(p).MinProbePowerMW(1e-3)
 	c, err := core.NewCircuit(p)
@@ -344,7 +463,7 @@ func renderTrace(w io.Writer, _, _ int) error {
 // frames corrected through one cached LUT (built once per recipe,
 // applied per frame over the pool), scored against the exact
 // transfer function.
-func renderVideo(w io.Writer, _, _ int) error {
+func renderVideo(ctx context.Context, w io.Writer, _ renderConfig) error {
 	frames := []*img.Gray{
 		img.Gradient(48, 32),
 		img.Radial(48, 32),
@@ -352,7 +471,7 @@ func renderVideo(w io.Writer, _, _ int) error {
 		img.Gradient(48, 32),
 	}
 	var cache img.GammaLUTCache
-	out, err := img.GammaVideo(frames, 0.45, 6, 0.3, 1024, 13, &cache)
+	out, err := img.GammaVideoCtx(ctx, engine.Default(), frames, 0.45, 6, 0.3, 1024, 13, &cache)
 	if err != nil {
 		return err
 	}

@@ -112,6 +112,26 @@
 //	rows, err := dse.SweepSeededErr(n, seed, point)   // Monte-Carlo, per-point seeds
 //	pow := circuit.PowerTable()                       // shared (weight, zmask) -> mW
 //
+// The long-running sweeps are robust to interruption and faults. The
+// engine layer dispatches under a context (engine.CtxEngine,
+// engine.RunCtx): SIGINT, a deadline (`oscbench -timeout`), or a
+// worker panic stops the fan-out at an item boundary and surfaces a
+// typed *engine.Partial — which items completed, and why it stopped —
+// instead of crashing; the cancellable entry points (AnalyzeYieldCtx,
+// BERWaterfallCtx, AccuracyVsLengthCtx, GammaVideoCtx, dse.SweepCtx/
+// GridCtx) thread it through every layer. On top of that,
+// dse.Checkpointer snapshots completed sweep points to disk (atomic
+// writes, fail-closed content-hash keys) so an interrupted run
+// resumes by re-running only the missing indices — bit-identical to
+// an uninterrupted run, because every point depends on (key, index)
+// alone. `oscbench -fig yield -checkpoint y.json`, ^C, then `-resume`
+// demonstrates the round trip; CI replays it as a smoke test. The
+// failure paths themselves are tested by deterministic fault
+// injection: engine.Chaos wraps any engine to drop-then-retry, delay,
+// or panic on chosen items, and the enginetest.RunChaos suite asserts
+// every entry point either recovers bit-identically or fails with a
+// typed error naming the faulting index.
+//
 // The implementation lives in internal/ packages:
 //
 //   - internal/numeric — numerical substrate (special functions,

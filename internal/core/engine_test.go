@@ -1,11 +1,24 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/engine/enginetest"
 )
+
+// yieldSuiteSpec is the variation fixture shared by the suite cases:
+// mild variation so both passing and failing dies occur.
+func yieldSuiteSpec() VariationSpec {
+	return VariationSpec{
+		RingResonanceSigmaNM: 0.05,
+		CouplingSigma:        0.01,
+		Samples:              24,
+		Seed:                 7,
+		TargetBER:            1e-6,
+	}
+}
 
 // TestEngineSuite registers the package's engine-accepting entry
 // points into the generic cross-engine equivalence and
@@ -32,6 +45,18 @@ func TestEngineSuite(t *testing.T) {
 				// The range straddles the feasibility boundary, so the
 				// index-ordered filter is actually exercised.
 				return NewEnergyModel(2).SweepOn(e, 0.02, 0.3, 30), nil
+			},
+		},
+		{
+			Name: "core.AnalyzeYieldOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return AnalyzeYieldOn(e, PaperParams(), yieldSuiteSpec())
+			},
+		},
+		{
+			Name: "core.AnalyzeYieldCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return AnalyzeYieldCtx(context.Background(), e, PaperParams(), yieldSuiteSpec())
 			},
 		},
 	})
@@ -66,6 +91,18 @@ func TestSerialShims(t *testing.T) {
 			t.Errorf("row %d: %+v vs %+v", i, rows[i], rowsOn[i])
 		}
 	}
+
+	ySerial, err := AnalyzeYieldSerial(PaperParams(), yieldSuiteSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := AnalyzeYield(PaperParams(), yieldSuiteSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ySerial != y {
+		t.Errorf("AnalyzeYieldSerial %+v vs AnalyzeYield %+v", ySerial, y)
+	}
 }
 
 // TestNilEngineMisuse: OptimalSpacingOn reports a nil engine as a
@@ -74,6 +111,12 @@ func TestNilEngineMisuse(t *testing.T) {
 	m := NewEnergyModel(2)
 	if _, err := m.OptimalSpacingOn(nil, 0.1, 0.3); err == nil {
 		t.Error("OptimalSpacingOn(nil) did not error")
+	}
+	if _, err := AnalyzeYieldOn(nil, PaperParams(), yieldSuiteSpec()); err == nil {
+		t.Error("AnalyzeYieldOn(nil) did not error")
+	}
+	if _, err := AnalyzeYieldCtx(context.Background(), nil, PaperParams(), yieldSuiteSpec()); err == nil {
+		t.Error("AnalyzeYieldCtx(nil) did not error")
 	}
 	defer func() {
 		if recover() == nil {

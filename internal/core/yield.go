@@ -1,10 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/parallel"
+	"repro/internal/engine"
 	"repro/internal/stochastic"
 )
 
@@ -48,17 +49,20 @@ type YieldResult struct {
 	MeanEyeMW float64
 }
 
-// dieOutcome is one fabricated die's measurement. A structural die is
+// DieOutcome is one fabricated die's measurement. A structural die is
 // one so far off it violates the circuit's structural constraints — a
-// failed die with the worst-case BER and no eye.
-type dieOutcome struct {
-	ber, eye   float64
-	structural bool
+// failed die with the worst-case BER and no eye. The JSON tags make
+// die outcomes checkpointable: float64 round-trips JSON exactly, so a
+// resumed yield sweep reassembles bit-identically.
+type DieOutcome struct {
+	BER        float64 `json:"ber"`
+	EyeMW      float64 `json:"eye_mw"`
+	Structural bool    `json:"structural,omitempty"`
 }
 
 // fabricateDie perturbs one virtual die of p with variation v, drawing
 // every Gaussian from g in a fixed order, and measures it.
-func fabricateDie(p Params, v VariationSpec, g *stochastic.Gaussian) dieOutcome {
+func fabricateDie(p Params, v VariationSpec, g *stochastic.Gaussian) DieOutcome {
 	die := p
 	// MZI device variation (clamped to physical ranges).
 	die.MZI.ILdB = math.Max(0, die.MZI.ILdB+g.Next()*v.MZIILSigmaDB)
@@ -68,7 +72,7 @@ func fabricateDie(p Params, v VariationSpec, g *stochastic.Gaussian) dieOutcome 
 
 	c, err := NewCircuit(die)
 	if err != nil {
-		return dieOutcome{ber: 0.5, structural: true}
+		return DieOutcome{BER: 0.5, Structural: true}
 	}
 	// Per-ring perturbations on the instantiated devices.
 	for i := range c.Modulators {
@@ -79,52 +83,108 @@ func fabricateDie(p Params, v VariationSpec, g *stochastic.Gaussian) dieOutcome 
 	c.Filter.SelfCoupling1 = clamp01open(c.Filter.SelfCoupling1 * (1 + g.Next()*v.CouplingSigma))
 	c.Filter.SelfCoupling2 = clamp01open(c.Filter.SelfCoupling2 * (1 + g.Next()*v.CouplingSigma))
 
-	return dieOutcome{ber: c.BER(), eye: c.EyeOpeningMW()}
+	return DieOutcome{BER: c.BER(), EyeMW: c.EyeOpeningMW()}
 }
 
-// AnalyzeYield fabricates `Samples` virtual dies of the design p with
-// the given variation and reports how many still meet the BER target.
-//
-// Dies fan out over the internal/parallel worker pool: die s draws its
-// Gaussians from a generator seeded by stochastic.DeriveSeed(Seed, s)
-// alone, and the per-die outcomes are aggregated in index order, so
-// the result is identical on any core count or scheduling. The
-// sweep therefore scales with cores while staying reproducible.
-func AnalyzeYield(p Params, v VariationSpec) (YieldResult, error) {
-	if v.Samples < 1 {
-		return YieldResult{}, fmt.Errorf("core: yield needs >= 1 sample")
-	}
-	if v.TargetBER <= 0 || v.TargetBER >= 0.5 {
-		return YieldResult{}, fmt.Errorf("core: yield BER target %g outside (0, 0.5)", v.TargetBER)
-	}
-	if err := p.Validate(); err != nil {
-		return YieldResult{}, err
-	}
-	dies := make([]dieOutcome, v.Samples)
-	parallel.For(v.Samples, func(s int) {
-		g := stochastic.NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s)))
-		dies[s] = fabricateDie(p, v, g)
-	})
+// MeasureDie fabricates and measures virtual die s of design p under
+// variation v. Its Gaussians come from stochastic.DeriveSeed(v.Seed, s)
+// alone, so a die's outcome depends only on (p, v, s) — the property
+// that lets yield sweeps shard, checkpoint and resume by die index
+// with bit-identical reassembly.
+func MeasureDie(p Params, v VariationSpec, s int) DieOutcome {
+	g := stochastic.NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s)))
+	return fabricateDie(p, v, g)
+}
 
-	res := YieldResult{Samples: v.Samples}
+// FoldYield aggregates per-die outcomes (in die order) into the
+// YieldResult AnalyzeYield reports — the deterministic reduce shared
+// by the direct, checkpointed and resumed paths.
+func FoldYield(v VariationSpec, dies []DieOutcome) YieldResult {
+	res := YieldResult{Samples: len(dies)}
 	sumBER, sumEye := 0.0, 0.0
 	for _, o := range dies {
-		sumBER += o.ber
-		if o.ber > res.WorstBER {
-			res.WorstBER = o.ber
+		sumBER += o.BER
+		if o.BER > res.WorstBER {
+			res.WorstBER = o.BER
 		}
-		if o.structural {
+		if o.Structural {
 			continue
 		}
-		sumEye += o.eye
-		if o.ber <= v.TargetBER {
+		sumEye += o.EyeMW
+		if o.BER <= v.TargetBER {
 			res.Pass++
 		}
 	}
-	res.Yield = float64(res.Pass) / float64(v.Samples)
-	res.MeanBER = sumBER / float64(v.Samples)
-	res.MeanEyeMW = sumEye / float64(v.Samples)
-	return res, nil
+	if res.Samples > 0 {
+		res.Yield = float64(res.Pass) / float64(res.Samples)
+		res.MeanBER = sumBER / float64(res.Samples)
+		res.MeanEyeMW = sumEye / float64(res.Samples)
+	}
+	return res
+}
+
+// checkYield validates a yield request.
+func checkYield(p Params, v VariationSpec) error {
+	if v.Samples < 1 {
+		return fmt.Errorf("core: yield needs >= 1 sample")
+	}
+	if v.TargetBER <= 0 || v.TargetBER >= 0.5 {
+		return fmt.Errorf("core: yield BER target %g outside (0, 0.5)", v.TargetBER)
+	}
+	return p.Validate()
+}
+
+// AnalyzeYieldOn fabricates `Samples` virtual dies of the design p
+// with the given variation on the given engine and reports how many
+// still meet the BER target.
+//
+// Die s is MeasureDie(p, v, s) — Gaussians seeded from
+// stochastic.DeriveSeed(Seed, s) alone — and outcomes fold in index
+// order, so the result is identical on any conforming engine, core
+// count or scheduling. A nil engine is an error.
+func AnalyzeYieldOn(e engine.Engine, p Params, v VariationSpec) (YieldResult, error) {
+	if err := engine.Check(e); err != nil {
+		return YieldResult{}, err
+	}
+	if err := checkYield(p, v); err != nil {
+		return YieldResult{}, err
+	}
+	dies := make([]DieOutcome, v.Samples)
+	e.For(v.Samples, func(s int) {
+		dies[s] = MeasureDie(p, v, s)
+	})
+	return FoldYield(v, dies), nil
+}
+
+// AnalyzeYield is AnalyzeYieldOn on the process-default engine.
+func AnalyzeYield(p Params, v VariationSpec) (YieldResult, error) {
+	return AnalyzeYieldOn(engine.Default(), p, v)
+}
+
+// AnalyzeYieldSerial is the serial oracle: AnalyzeYieldOn on
+// engine.Serial.
+func AnalyzeYieldSerial(p Params, v VariationSpec) (YieldResult, error) {
+	return AnalyzeYieldOn(engine.Serial, p, v)
+}
+
+// AnalyzeYieldCtx is AnalyzeYieldOn with cooperative cancellation: a
+// fired ctx stops the die fan-out at a die boundary and surfaces a
+// *engine.Partial (wrapping the context error, or the
+// *parallel.PanicError of a faulting die) instead of a result.
+func AnalyzeYieldCtx(ctx context.Context, e engine.Engine, p Params, v VariationSpec) (YieldResult, error) {
+	if err := engine.Check(e); err != nil {
+		return YieldResult{}, err
+	}
+	if err := checkYield(p, v); err != nil {
+		return YieldResult{}, err
+	}
+	dies := make([]DieOutcome, v.Samples)
+	if err := engine.RunCtx(ctx, e, v.Samples, nil, func(s int) {
+		dies[s] = MeasureDie(p, v, s)
+	}); err != nil {
+		return YieldResult{}, err
+	}
+	return FoldYield(v, dies), nil
 }
 
 func clamp01open(x float64) float64 {

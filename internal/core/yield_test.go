@@ -102,15 +102,15 @@ func TestYieldMatchesSerialOracle(t *testing.T) {
 	for s := 0; s < v.Samples; s++ {
 		g := stochastic.NewGaussian(stochastic.NewSplitMix64(stochastic.DeriveSeed(v.Seed, s)))
 		o := fabricateDie(p, v, g)
-		sumBER += o.ber
-		if o.ber > want.WorstBER {
-			want.WorstBER = o.ber
+		sumBER += o.BER
+		if o.BER > want.WorstBER {
+			want.WorstBER = o.BER
 		}
-		if o.structural {
+		if o.Structural {
 			continue
 		}
-		sumEye += o.eye
-		if o.ber <= v.TargetBER {
+		sumEye += o.EyeMW
+		if o.BER <= v.TargetBER {
 			want.Pass++
 		}
 	}

@@ -1,0 +1,45 @@
+package dse
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/stochastic"
+)
+
+// This file adds cooperative cancellation to the sweep layer. The ctx
+// variants stop at a point boundary when the context fires and return
+// a *engine.Partial (wrapping the context error, or the
+// *parallel.PanicError of a faulting point) alongside the partially
+// filled result slice: entries at indices the Partial's Done bitmap
+// marks true are valid and safe to persist — what the Checkpointer
+// does on interruption.
+
+// SweepCtx is SweepOn under ctx. On a nil error the returned slice is
+// complete; on a *engine.Partial it is partial as described above.
+func SweepCtx[T any](ctx context.Context, e engine.Engine, n int, point func(i int) T) ([]T, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]T, n)
+	if err := engine.RunCtx(ctx, e, n, nil, func(i int) { out[i] = point(i) }); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// SweepSeededCtx is SweepSeededOn under ctx.
+func SweepSeededCtx[T any](ctx context.Context, e engine.Engine, n int, seed uint64, point func(i int, pointSeed uint64) T) ([]T, error) {
+	return SweepCtx(ctx, e, n, func(i int) T { return point(i, stochastic.DeriveSeed(seed, i)) })
+}
+
+// GridCtx is GridOn under ctx, row-major like GridOn.
+func GridCtx[T any](ctx context.Context, e engine.Engine, rows, cols int, point func(r, c int) T) ([]T, error) {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	return SweepCtx(ctx, e, rows*cols, func(i int) T { return point(i/cols, i%cols) })
+}

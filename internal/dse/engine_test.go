@@ -1,7 +1,10 @@
 package dse
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -47,7 +50,65 @@ func TestEngineSuite(t *testing.T) {
 				return GridOn(e, 7, 5, func(r, c int) [2]int { return [2]int{r, c} }), nil
 			},
 		},
+		{
+			Name: "dse.SweepCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return SweepCtx(context.Background(), e, 64, func(i int) int { return i * 3 })
+			},
+		},
+		{
+			Name: "dse.SweepSeededCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return SweepSeededCtx(context.Background(), e, 32, 42, func(i int, seed uint64) uint64 { return seed ^ uint64(i) })
+			},
+		},
+		{
+			Name: "dse.GridCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return GridCtx(context.Background(), e, 4, 6, func(r, c int) int { return r*100 + c })
+			},
+		},
+		{
+			Name: "dse.YieldStudy.RunOn",
+			Eval: func(e engine.Engine) (any, error) {
+				return yieldStudyFixture().RunOn(e)
+			},
+		},
+		{
+			Name: "dse.YieldStudy.RunCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return yieldStudyFixture().RunCtx(context.Background(), e)
+			},
+		},
+		{
+			Name: "dse.Checkpointer.Run+RunCheckpointed",
+			Eval: func(e engine.Engine) (any, error) {
+				// A fresh un-persisted checkpointer (empty Path would
+				// fail the save, so use a per-eval temp file) replays the
+				// study through Checkpointer.Run via RunCheckpointed.
+				s := yieldStudyFixture()
+				dir, err := os.MkdirTemp("", "dse-enginetest-*")
+				if err != nil {
+					return nil, err
+				}
+				defer os.RemoveAll(dir)
+				cp := NewCheckpointer[core.DieOutcome](filepath.Join(dir, "ck.json"), 0, s.Key())
+				return s.RunCheckpointed(context.Background(), e, cp)
+			},
+		},
 	})
+}
+
+// yieldStudyFixture is a small but non-trivial study shared by the
+// suite cases and the checkpoint tests.
+func yieldStudyFixture() YieldStudy {
+	return YieldStudy{
+		Params:    core.PaperParams(),
+		SigmasNM:  []float64{0.01, 0.1},
+		Samples:   6,
+		Seed:      99,
+		TargetBER: 1e-6,
+	}
 }
 
 // TestSweepErrOnLowestIndexError: the deterministic error choice holds

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// TestChaosRegistered: a "chaos" engine sits in the registry with a
+// benign (recoverable-faults-only) spec, so every package's enginetest
+// suite replays on it.
+func TestChaosRegistered(t *testing.T) {
+	e, err := Get("chaos")
+	if err != nil {
+		t.Fatalf("Get(chaos): %v", err)
+	}
+	c, ok := e.(*Chaos)
+	if !ok {
+		t.Fatalf("registered chaos is %T", e)
+	}
+	if c.Spec().Panic {
+		t.Error("registered chaos injects panics; it must stay recoverable")
+	}
+	if c.Spec().DropProb <= 0 {
+		t.Error("registered chaos drops nothing; it stresses no reordering")
+	}
+}
+
+// TestChaosExactlyOnce: even with aggressive drop-then-retry the
+// chaos engine runs every index exactly once — the property that makes
+// it contract-conforming and bit-identical to serial.
+func TestChaosExactlyOnce(t *testing.T) {
+	c := NewChaos("chaos-test", WordParallel, 7, ChaosSpec{DropProb: 0.5})
+	const n = 513
+	visits := make([]int32, n)
+	c.For(n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("For: index %d ran %d times", i, v)
+		}
+	}
+	visits = make([]int32, n)
+	workers := c.Workers(n)
+	c.ForWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker %d outside [0, %d)", w, workers)
+		}
+		atomic.AddInt32(&visits[i], 1)
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("ForWorker: index %d ran %d times", i, v)
+		}
+	}
+}
+
+// TestChaosPlanDeterministic: the fault plan is a pure function of
+// (seed, spec, n) — same seed, same order; different seed, (almost
+// surely) different order; and always a permutation of [0, n).
+func TestChaosPlanDeterministic(t *testing.T) {
+	a := NewChaos("a", Serial, 42, ChaosSpec{DropProb: 0.3})
+	b := NewChaos("b", Serial, 42, ChaosSpec{DropProb: 0.3})
+	other := NewChaos("c", Serial, 43, ChaosSpec{DropProb: 0.3})
+	const n = 200
+	orderA, _ := a.plan(n)
+	orderB, _ := b.plan(n)
+	orderC, _ := other.plan(n)
+	seen := make([]bool, n)
+	same := true
+	diff := false
+	for j := range orderA {
+		if seen[orderA[j]] {
+			t.Fatalf("plan repeats index %d", orderA[j])
+		}
+		seen[orderA[j]] = true
+		if orderA[j] != orderB[j] {
+			same = false
+		}
+		if orderA[j] != orderC[j] {
+			diff = true
+		}
+	}
+	if len(orderA) != n {
+		t.Fatalf("plan has %d slots for %d items", len(orderA), n)
+	}
+	if !same {
+		t.Error("same seed produced different plans")
+	}
+	if !diff {
+		t.Error("different seeds produced identical plans (suspicious)")
+	}
+}
+
+// TestChaosPanicInjection: a panic-injecting chaos engine surfaces a
+// *parallel.PanicError attributed to the real (reordered) item index,
+// with the injected ChaosPanic reachable via errors.As underneath.
+func TestChaosPanicInjection(t *testing.T) {
+	for _, inner := range []Engine{Serial, WordParallel} {
+		c := NewChaos("chaos-panic", inner, 11, ChaosSpec{DropProb: 0.4, Panic: true, PanicAt: 5})
+		err := ForCtx(context.Background(), c, 32, func(i int) {})
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("inner=%s: err = %v (%T), want *parallel.PanicError", inner.Name(), err, err)
+		}
+		if pe.Index != 5 {
+			t.Errorf("inner=%s: panic attributed to index %d, want 5 (the item, not its dispatch slot)", inner.Name(), pe.Index)
+		}
+		var cp ChaosPanic
+		if !errors.As(err, &cp) || cp.Index != 5 {
+			t.Errorf("inner=%s: ChaosPanic not reachable: %v", inner.Name(), err)
+		}
+	}
+}
+
+// TestChaosPanicAtClamped: out-of-range PanicAt clamps into [0, n-1]
+// instead of silently never firing.
+func TestChaosPanicAtClamped(t *testing.T) {
+	for _, tc := range []struct{ at, want int }{{99, 2}, {-7, 0}} {
+		c := NewChaos("chaos-clamp", Serial, 3, ChaosSpec{Panic: true, PanicAt: tc.at})
+		err := ForCtx(context.Background(), c, 3, func(i int) {})
+		var cp ChaosPanic
+		if !errors.As(err, &cp) {
+			t.Fatalf("PanicAt=%d: no ChaosPanic: %v", tc.at, err)
+		}
+		if cp.Index != tc.want {
+			t.Errorf("PanicAt=%d fired at %d, want clamped %d", tc.at, cp.Index, tc.want)
+		}
+	}
+}
+
+// TestChaosZeroSpecTransparent: the zero spec is a no-op wrapper —
+// serial inner, ascending order, no faults.
+func TestChaosZeroSpecTransparent(t *testing.T) {
+	c := NewChaos("chaos-zero", Serial, 1, ChaosSpec{})
+	var order []int
+	c.For(6, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("zero-spec chaos reordered: %v", order)
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("ran %d of 6", len(order))
+	}
+	c.For(0, func(i int) { t.Errorf("n=0 ran item %d", i) })
+	c.For(-1, func(i int) { t.Errorf("n=-1 ran item %d", i) })
+}
+
+// TestChaosDelayStillCompletes: delays perturb scheduling but never
+// results — a fully delayed sweep still covers every index.
+func TestChaosDelayStillCompletes(t *testing.T) {
+	c := NewChaos("chaos-delay", WordParallel, 3, ChaosSpec{DelayProb: 1, Delay: 100 * time.Microsecond})
+	var ran atomic.Int32
+	c.For(16, func(i int) { ran.Add(1) })
+	if ran.Load() != 16 {
+		t.Fatalf("delayed sweep ran %d of 16", ran.Load())
+	}
+}
+
+// TestChaosCancellation: the ctx path cancels through the wrapper like
+// any other engine.
+func TestChaosCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewChaos("chaos-ctx", WordParallel, 5, ChaosSpec{DropProb: 0.2})
+	err := c.ForCtx(ctx, 40, func(i int) { t.Errorf("ran %d under dead ctx", i) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -52,4 +52,33 @@
 // whose items are a few microseconds — the OptimalSpacing bracketing
 // scan — pay per-chunk rather than per-item dispatch overhead. With
 // one worker (or one chunk) it degrades to the pure serial walk.
+//
+// # Cancellation, checkpointing, and fault injection
+//
+// Long sweeps are interruptible without giving up the contract. An
+// engine may implement CtxEngine (both built-ins do) to dispatch
+// under a context: ForCtx/ForWorkerCtx stop handing out items at the
+// next item boundary once the context fires — items never run
+// partially, are never re-run, and a worker panic surfaces as a typed
+// *parallel.PanicError naming the faulting index instead of crashing
+// the process. Engines without the ctx methods are adapted
+// transparently (a per-item poll around the plain dispatch), so every
+// registered engine is cancellable. RunCtx wraps an interruption in
+// *Partial: the per-index Done bitmap and Completed count that tell a
+// caller exactly which items finished — the unit of resumability
+// dse.Checkpointer builds on (periodic durable snapshots, fail-closed
+// key hashing, resume re-runs only the missing indices with
+// bit-identical reassembly; oscbench -fig yield -checkpoint/-resume).
+//
+// Because "stops cleanly and resumes bit-identically" is a claim
+// about failure paths, it is tested under injected faults: Chaos
+// wraps any inner engine and — deterministically, from a seed —
+// drops-then-retries items, delays them, or panics at a chosen index,
+// while still satisfying the exactly-once contract when configured
+// recoverably (the registered "chaos" engine runs the full enginetest
+// suite like any backend). enginetest.RunChaos replays every entry
+// point under recoverable chaos (must match the Serial reference
+// bit-for-bit) and under an injected panic (must surface a typed
+// error or panic that names the fault — silently swallowing it fails
+// the suite).
 package engine

@@ -17,10 +17,13 @@
 package enginetest
 
 import (
+	"errors"
 	"reflect"
 	"runtime"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/parallel"
 )
 
 // TB is the minimal testing surface Run needs; *testing.T satisfies
@@ -87,6 +90,94 @@ func evalAt(procs int, e engine.Engine, eval func(engine.Engine) (any, error)) (
 	return eval(e)
 }
 
+// chaosSuiteSeed fixes the fault schedule RunChaos uses, so a chaos
+// failure reproduces identically on every run and machine.
+const chaosSuiteSeed = 0xA24BAED4963EE407
+
+// RunChaos is the adversarial counterpart of Run: it replays every
+// case on every engine wrapped in fault-injecting engine.Chaos
+// instances and asserts the repo's two robustness invariants hold
+// under attack.
+//
+//  1. Recovery: with recoverable faults only (half the items dropped
+//     and retried, some delayed), results must stay bit-identical to
+//     the engine.Serial reference — reordering and scheduling jitter
+//     must not leak into output.
+//  2. Typed failure: with a panic injected at item 0, the case must
+//     fail loudly and typed — either a panic carrying a
+//     *parallel.PanicError or a returned error wrapping one, with the
+//     injected engine.ChaosPanic reachable via errors.As. An engine
+//     (or entry point) that swallows the fault and returns a result
+//     anyway fails the suite.
+//
+// A nil engines slice means engine.All(). Like Run, it takes the TB
+// surface so a recording TB can prove the suite's own teeth.
+func RunChaos(t TB, engines []engine.Engine, cases []Case) {
+	t.Helper()
+	if engines == nil {
+		engines = engine.All()
+	}
+	for _, c := range cases {
+		if c.Name == "" || c.Eval == nil {
+			t.Errorf("enginetest: chaos case %q has no name or no Eval", c.Name)
+			continue
+		}
+		ref, refErr := evalAt(1, engine.Serial, c.Eval)
+		if refErr != nil {
+			t.Errorf("enginetest: %s: serial reference failed: %v", c.Name, refErr)
+			continue
+		}
+		for _, e := range engines {
+			recov := engine.NewChaos("chaos-recover("+e.Name()+")", e, chaosSuiteSeed, engine.ChaosSpec{
+				DropProb:  0.5,
+				DelayProb: 0.02,
+				Delay:     20 * time.Microsecond,
+			})
+			got, err := evalAt(4, recov, c.Eval)
+			switch {
+			case err != nil:
+				t.Errorf("enginetest: %s: engine %q errored under recoverable chaos: %v", c.Name, e.Name(), err)
+			case !reflect.DeepEqual(got, ref):
+				t.Errorf("enginetest: %s: engine %q diverges from the serial reference under recoverable chaos\n got: %+v\nwant: %+v",
+					c.Name, e.Name(), got, ref)
+			}
+
+			boom := engine.NewChaos("chaos-panic("+e.Name()+")", e, chaosSuiteSeed, engine.ChaosSpec{
+				DropProb: 0.25,
+				Panic:    true,
+				PanicAt:  0,
+			})
+			err, recovered := probe(boom, c.Eval)
+			switch {
+			case recovered != nil:
+				pe, ok := recovered.(*parallel.PanicError)
+				if !ok {
+					t.Errorf("enginetest: %s: engine %q re-raised an untyped panic %v (%T), want *parallel.PanicError",
+						c.Name, e.Name(), recovered, recovered)
+				} else if !errors.As(pe, new(engine.ChaosPanic)) {
+					t.Errorf("enginetest: %s: engine %q lost the injected fault under the panic: %v", c.Name, e.Name(), pe)
+				}
+			case err != nil:
+				if !errors.As(err, new(engine.ChaosPanic)) {
+					t.Errorf("enginetest: %s: engine %q returned an error not wrapping the injected fault: %v",
+						c.Name, e.Name(), err)
+				}
+			default:
+				t.Errorf("enginetest: %s: engine %q swallowed an injected panic and returned a result — panic propagation is broken",
+					c.Name, e.Name())
+			}
+		}
+	}
+}
+
+// probe runs eval under a pinned GOMAXPROCS, separating a returned
+// error from a propagated panic.
+func probe(e engine.Engine, eval func(engine.Engine) (any, error)) (err error, recovered any) {
+	defer func() { recovered = recover() }()
+	_, err = evalAt(4, e, eval)
+	return err, nil
+}
+
 // Lossy is a deliberately broken Engine: it drops the final index of
 // every fan-out — the deterministic stand-in for the work a racy
 // engine loses. It exists so tests can prove Run has teeth (see
@@ -108,4 +199,33 @@ func (lossyEngine) ForWorker(n, _ int, fn func(worker, i int)) {
 	for i := 0; i < n-1; i++ {
 		fn(0, i)
 	}
+}
+
+// Swallow is the second deliberately broken Engine: it recovers and
+// discards any panic a work item raises, then carries on — the
+// anti-pattern the panic-propagation contract forbids (a fault
+// silently becomes missing work). RunChaos must flag it (see
+// TestChaosSuiteCatchesSwallowedPanics); it is not in the registry.
+var Swallow engine.Engine = swallowEngine{}
+
+type swallowEngine struct{}
+
+func (swallowEngine) Name() string    { return "swallow" }
+func (swallowEngine) Workers(int) int { return 1 }
+
+func (swallowEngine) For(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		swallowOne(func() { fn(i) })
+	}
+}
+
+func (swallowEngine) ForWorker(n, _ int, fn func(worker, i int)) {
+	for i := 0; i < n; i++ {
+		swallowOne(func() { fn(0, i) })
+	}
+}
+
+func swallowOne(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
 }

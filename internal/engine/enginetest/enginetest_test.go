@@ -87,6 +87,54 @@ func TestSuiteCatchesLossyEngine(t *testing.T) {
 	}
 }
 
+// TestRegisteredEnginesPassChaosSuite: every registered engine (the
+// built-ins plus the registered chaos wrapper) recovers bit-identically
+// from drop/delay faults and fails typed under injected panics.
+func TestRegisteredEnginesPassChaosSuite(t *testing.T) {
+	RunChaos(t, nil, suiteCases())
+}
+
+// TestChaosSuiteCatchesSwallowedPanics proves the chaos suite has
+// teeth on the propagation side: an engine that recovers and discards
+// work-item panics (Swallow) must be flagged for returning a result
+// where a typed failure was due.
+func TestChaosSuiteCatchesSwallowedPanics(t *testing.T) {
+	rec := &recorder{}
+	RunChaos(rec, []engine.Engine{Swallow}, suiteCases())
+	if len(rec.failures) == 0 {
+		t.Fatal("chaos suite accepted an engine that swallows panics; it has no teeth")
+	}
+	found := false
+	for _, f := range rec.failures {
+		if strings.Contains(f, `"swallow"`) && strings.Contains(f, "swallowed an injected panic") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("swallow engine not flagged for swallowing; failures: %v", rec.failures)
+	}
+}
+
+// TestChaosSuiteCatchesDroppedWork proves the teeth on the recovery
+// side: if retry/dispatch logic loses an item (Lossy drops the final
+// dispatch slot, exactly what broken drop-then-retry would do), the
+// recoverable-chaos replay must diverge from the serial reference.
+func TestChaosSuiteCatchesDroppedWork(t *testing.T) {
+	rec := &recorder{}
+	RunChaos(rec, []engine.Engine{Lossy}, suiteCases())
+	found := false
+	for _, f := range rec.failures {
+		if strings.Contains(f, `"lossy"`) && strings.Contains(f, "recoverable chaos") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("lossy engine not flagged under recoverable chaos; failures: %v", rec.failures)
+	}
+}
+
 // TestSuiteRejectsMalformedCases: unnamed or Eval-less cases are
 // reported rather than silently skipped.
 func TestSuiteRejectsMalformedCases(t *testing.T) {

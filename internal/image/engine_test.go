@@ -1,6 +1,7 @@
 package image
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine"
@@ -26,6 +27,12 @@ func TestEngineSuite(t *testing.T) {
 			Name: "image.GammaVideoPerFrameOn",
 			Eval: func(e engine.Engine) (any, error) {
 				return GammaVideoPerFrameOn(e, videoFrames(), 0.45, 6, 0.3, 256, 9, nil)
+			},
+		},
+		{
+			Name: "image.GammaVideoCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return GammaVideoCtx(context.Background(), e, videoFrames(), 0.45, 6, 0.3, 256, 9, nil)
 			},
 		},
 	}

@@ -1,6 +1,7 @@
 package image
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -107,6 +108,14 @@ func (c *GammaLUTCache) ReSCLUT(gamma float64, degree, streamLen int, seed uint6
 // interleaved gammas). Frames must be non-nil; a nil engine is an
 // error.
 func GammaVideoOn(e engine.Engine, frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
+	return GammaVideoCtx(context.Background(), e, frames, gamma, degree, spacingNM, streamLen, seed, cache)
+}
+
+// GammaVideoCtx is GammaVideoOn under cooperative cancellation: a
+// fired ctx stops the frame fan-out at a frame boundary and surfaces a
+// *engine.Partial (wrapping the context error, or the
+// *parallel.PanicError of a faulting frame) instead of frames.
+func GammaVideoCtx(ctx context.Context, e engine.Engine, frames []*Gray, gamma float64, degree int, spacingNM float64, streamLen int, seed uint64, cache *GammaLUTCache) ([]*Gray, error) {
 	if err := engine.Check(e); err != nil {
 		return nil, err
 	}
@@ -118,11 +127,13 @@ func GammaVideoOn(e engine.Engine, frames []*Gray, gamma float64, degree int, sp
 		return nil, err
 	}
 	out := make([]*Gray, len(frames))
-	e.For(len(frames), func(i int) {
+	if err := engine.RunCtx(ctx, e, len(frames), nil, func(i int) {
 		f := frames[i].Clone()
 		applyLUT(f, lut)
 		out[i] = f
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

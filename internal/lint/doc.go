@@ -27,8 +27,10 @@
 // detrand — deterministic randomness. In internal/ packages, time.Now
 // and the global math/rand functions are banned outright: results must
 // replay bit-identically from explicit seeds. Everywhere, a closure
-// passed to a worker dispatcher — parallel.For / ForWorker / Run, or
-// an Engine's For / ForWorker / engine.Chunked — that constructs an RNG
+// passed to a worker dispatcher — parallel.For / ForWorker / Run /
+// ForCtx / ForWorkerCtx, or an Engine's For / ForWorker,
+// engine.Chunked and the cancellable engine.ForCtx / ForWorkerCtx /
+// RunCtx — that constructs an RNG
 // (stochastic.NewSplitMix64, NewLFSR, NewChaoticSource,
 // NewChaoticLaserSNG, NewReSCWithSeeds, or a math/rand constructor)
 // must reference stochastic.DeriveSeed — directly in the body, or

@@ -5,8 +5,10 @@ import (
 )
 
 // HotAlloc supports the ROADMAP zero-alloc push: inside a closure
-// handed to parallel.For/ForWorker/Run or to an evaluation engine's
-// For/ForWorker (internal/engine, engine.Chunked included), per-item
+// handed to parallel.For/ForWorker/Run (or their ctx variants) or to
+// an evaluation engine's For/ForWorker (internal/engine;
+// engine.Chunked and the cancellable ForCtx/ForWorkerCtx/RunCtx
+// included), per-item
 // `make` calls, growing `append`s, and fmt.Sprint* formatting multiply
 // allocations by the item count. The fix is the ForWorker per-worker
 // scratch pattern (O(workers) allocations, see image.RobertsCrossSC)

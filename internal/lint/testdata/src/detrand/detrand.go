@@ -4,6 +4,7 @@
 package detrand
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -85,6 +86,39 @@ func GoodEngineSeed(e engine.Engine, n int, seed uint64) []float64 {
 		out[i] = rng.Next()
 	})
 	return out
+}
+
+// BadCtxSeed constructs an underived per-item RNG inside a
+// cancellable dispatch: engine.RunCtx stops early but never re-runs
+// an item, so its closures obey the same discipline as Engine.For.
+func BadCtxSeed(ctx context.Context, e engine.Engine, n int, seed uint64) ([]float64, error) {
+	out := make([]float64, n)
+	err := engine.RunCtx(ctx, e, n, nil, func(i int) {
+		rng := stochastic.NewSplitMix64(seed + uint64(i)) // want detrand
+		out[i] = rng.Next()
+	})
+	return out, err
+}
+
+// BadParallelCtxSeed is the same violation on the parallel layer's
+// context-aware dispatch.
+func BadParallelCtxSeed(ctx context.Context, n int, seed uint64) ([]float64, error) {
+	out := make([]float64, n)
+	err := parallel.ForCtx(ctx, n, func(i int) {
+		rng := stochastic.NewSplitMix64(seed ^ uint64(i)) // want detrand
+		out[i] = rng.Next()
+	})
+	return out, err
+}
+
+// GoodCtxSeed derives per-item seeds on the cancellable dispatch path.
+func GoodCtxSeed(ctx context.Context, e engine.Engine, n int, seed uint64) ([]float64, error) {
+	out := make([]float64, n)
+	err := engine.RunCtx(ctx, e, n, nil, func(i int) {
+		rng := stochastic.NewSplitMix64(stochastic.DeriveSeed(seed, i))
+		out[i] = rng.Next()
+	})
+	return out, err
 }
 
 // GoodSerial constructs its RNG outside any worker closure — the

@@ -4,6 +4,7 @@
 package hotalloc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -33,6 +34,17 @@ func BadEnginePerItem(e engine.Engine, n int) []string {
 		out[i] = string(buf[:1])
 	})
 	return out
+}
+
+// BadCtxPerItem allocates per item inside a cancellable dispatch:
+// engine.RunCtx fans out exactly like Engine.For, so its closures are
+// just as hot.
+func BadCtxPerItem(ctx context.Context, e engine.Engine, n int) ([]string, error) {
+	out := make([]string, n)
+	err := engine.RunCtx(ctx, e, n, nil, func(i int) {
+		out[i] = fmt.Sprint(i) // want hotalloc
+	})
+	return out, err
 }
 
 // GoodEngineScratch hoists per-worker scratch ahead of the engine

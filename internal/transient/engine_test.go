@@ -1,6 +1,8 @@
 package transient
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -57,7 +59,36 @@ func TestEngineSuite(t *testing.T) {
 				return s.SyncSweepOn(e, 13, 997), nil
 			},
 		},
+		{
+			Name: "transient.AccuracyVsLengthCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				s := newTestSim(t, 0, 80)
+				return s.AccuracyVsLengthCtx(context.Background(), e, 0.5, []int{64, 128}, 3)
+			},
+		},
+		{
+			Name: "transient.BERWaterfallCtx",
+			Eval: func(e engine.Engine) (any, error) {
+				return BERWaterfallCtx(context.Background(), e, base, powers, 10_000, 41)
+			},
+		},
 	})
+}
+
+// TestWaterfallCtxCancellation: a canceled waterfall surfaces the
+// sweep layer's typed partial error instead of a curve.
+func TestWaterfallCtxCancellation(t *testing.T) {
+	base, powers := waterfallPowers(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BERWaterfallCtx(ctx, engine.WordParallel, base, powers, 1000, 41)
+	var p *engine.Partial
+	if !errors.As(err, &p) {
+		t.Fatalf("err = %v (%T), want *engine.Partial", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Partial does not carry context.Canceled: %v", err)
+	}
 }
 
 // TestSerialShims pins the X / XSerial surface onto the engine layer:

@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -268,6 +269,14 @@ func (s *Simulator) accuracyReduce(valid []int, trials int, sq []float64) []Accu
 // engine is an error. If several trials fail, the error of the lowest
 // failing index is returned (a deterministic choice).
 func (s *Simulator) AccuracyVsLengthOn(e engine.Engine, x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
+	return s.AccuracyVsLengthCtx(context.Background(), e, x, lengths, trials)
+}
+
+// AccuracyVsLengthCtx is AccuracyVsLengthOn under cooperative
+// cancellation: a fired ctx stops the trial fan-out at a trial
+// boundary and surfaces a *engine.Partial (wrapping the context error,
+// or the *parallel.PanicError of a faulting trial) instead of points.
+func (s *Simulator) AccuracyVsLengthCtx(ctx context.Context, e engine.Engine, x float64, lengths []int, trials int) ([]AccuracyPoint, error) {
 	if err := engine.Check(e); err != nil {
 		return nil, err
 	}
@@ -279,7 +288,7 @@ func (s *Simulator) AccuracyVsLengthOn(e engine.Engine, x float64, lengths []int
 	sigma := s.SigmaMW
 	sq := make([]float64, len(valid)*trials)
 	errs := make([]error, len(sq))
-	e.For(len(sq), func(i int) {
+	if err := engine.RunCtx(ctx, e, len(sq), nil, func(i int) {
 		unitSeed, noiseSeed := trialSeeds(s.seed^accuracySalt, i)
 		g := NewGaussian(stochastic.NewSplitMix64(noiseSeed))
 		got, err := s.Unit.EvaluateNoisySeeded(unitSeed, x, valid[i/trials], func(dst []float64) {
@@ -291,7 +300,9 @@ func (s *Simulator) AccuracyVsLengthOn(e engine.Engine, x float64, lengths []int
 		}
 		d := got - want
 		sq[i] = d * d
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

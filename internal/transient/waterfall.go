@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -72,6 +73,14 @@ func waterfallPoint(base core.Params, poly stochastic.BernsteinPoly, powerMW flo
 // error of the lowest failing index is returned (a deterministic
 // choice).
 func BERWaterfallOn(e engine.Engine, base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
+	return BERWaterfallCtx(context.Background(), e, base, powersMW, bits, seed)
+}
+
+// BERWaterfallCtx is BERWaterfallOn under cooperative cancellation: a
+// fired ctx stops the point fan-out at a point boundary and surfaces a
+// *engine.Partial (wrapping the context error, or the
+// *parallel.PanicError of a faulting point) instead of a curve.
+func BERWaterfallCtx(ctx context.Context, e engine.Engine, base core.Params, powersMW []float64, bits int, seed uint64) ([]WaterfallPoint, error) {
 	if err := engine.Check(e); err != nil {
 		return nil, err
 	}
@@ -81,10 +90,12 @@ func BERWaterfallOn(e engine.Engine, base core.Params, powersMW []float64, bits 
 	poly := defaultPoly(base.Order)
 	out := make([]WaterfallPoint, len(powersMW))
 	errs := make([]error, len(powersMW))
-	e.For(len(powersMW), func(i int) {
+	if err := engine.RunCtx(ctx, e, len(powersMW), nil, func(i int) {
 		unitSeed, simSeed := waterfallSeeds(seed, i)
 		out[i], errs[i] = waterfallPoint(base, poly, powersMW[i], bits, unitSeed, simSeed)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
