@@ -8,8 +8,8 @@ SHELL       := /bin/bash
 # The benchmarks tracked by CI's bench-delta job (cmd/benchdelta):
 # the engine-dispatched paths (one per package), serial engines
 # included so the dispatch overhead stays visible.
-BENCH_PATTERN := Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo|SweepEngine
-BENCH_PKGS    := ./internal/transient ./internal/core ./internal/image ./internal/dse
+BENCH_PATTERN := Trace|BERWaterfall|AccuracyVsLength|OptimalSpacing|GammaVideo|SweepEngine|ServeFig
+BENCH_PKGS    := ./internal/transient ./internal/core ./internal/image ./internal/dse ./internal/serve
 # 10 iterations per count: at 3x, run-to-run scheduler jitter on a
 # small runner exceeds the 30% gate and the delta measures noise.
 BENCH_FLAGS   := -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x -count=3

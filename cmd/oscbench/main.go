@@ -18,9 +18,10 @@
 //	oscbench -fig yield        # checkpointable process-variation yield study
 //	oscbench -fig ablation     # ring linewidth / APD / parallel array / link budget
 //
-// Every sweep dispatches on a deterministic evaluation engine
-// (internal/engine), so figures are identical on any engine at any
-// worker count:
+// The registry itself lives in internal/figures, shared with the
+// oscserve HTTP service. Every sweep dispatches on a deterministic
+// evaluation engine (internal/engine), so figures are identical on any
+// engine at any worker count:
 //
 //	oscbench -engine serial    # run every sweep on the serial engine
 //	oscbench -engine parallel  # run on the word-parallel engine (default)
@@ -50,23 +51,19 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dse"
 	"repro/internal/engine"
-	img "repro/internal/image"
-	"repro/internal/stochastic"
-	"repro/internal/transient"
+	"repro/internal/figures"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate ("+strings.Join(figureKeys(), ", ")+", all)")
-	gridN := flag.Int("grid", 6, "grid resolution for Fig 6(a) (>= 2)")
-	sweepN := flag.Int("sweep", 11, "sweep points for Fig 7(a) (>= 2)")
+	fig := flag.String("fig", "all", "figure to regenerate ("+strings.Join(figures.Keys(), ", ")+", all)")
+	gridN := flag.Int("grid", figures.Defaults().GridN, "grid resolution for Fig 6(a) (>= 2)")
+	sweepN := flag.Int("sweep", figures.Defaults().SweepN, "sweep points for Fig 7(a) (>= 2)")
 	workers := flag.Int("workers", 0, "cap the parallel worker pool (0 = all cores)")
 	engName := flag.String("engine", "", "evaluation engine for every sweep ("+strings.Join(engine.Names(), ", ")+"; default: "+engine.Default().Name()+")")
 	timing := flag.Bool("timing", false, "print per-figure wall time")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
-	samples := flag.Int("samples", 200, "dies per sigma for -fig yield (>= 1)")
+	samples := flag.Int("samples", figures.Defaults().Samples, "dies per sigma for -fig yield (>= 1)")
 	checkpoint := flag.String("checkpoint", "", "snapshot file for -fig yield (enables interrupt/resume)")
 	resume := flag.Bool("resume", false, "resume -fig yield from the -checkpoint file")
 	flag.Parse()
@@ -93,12 +90,12 @@ func main() {
 		defer cancel()
 	}
 
-	cfg := renderConfig{
-		gridN:      *gridN,
-		sweepN:     *sweepN,
-		samples:    *samples,
-		checkpoint: *checkpoint,
-		resume:     *resume,
+	cfg := figures.Config{
+		GridN:      *gridN,
+		SweepN:     *sweepN,
+		Samples:    *samples,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
 	}
 	if err := run(ctx, os.Stdout, *fig, cfg, *workers, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "oscbench:", err)
@@ -106,123 +103,22 @@ func main() {
 	}
 }
 
-// renderConfig carries the per-figure knobs into the renderers.
-type renderConfig struct {
-	gridN, sweepN int
-	samples       int
-	checkpoint    string
-	resume        bool
-}
-
-// figure is one renderable section: its -fig key, display title and
-// generator.
-type figure struct {
-	key, title string
-	render     func(ctx context.Context, w io.Writer, cfg renderConfig) error
-}
-
-// figures lists every section in -fig all order.
-var figures = []figure{
-	{"5a", "Fig 5(a)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		return dse.RenderFig5Case(w, dse.Fig5A())
-	}},
-	{"5b", "Fig 5(b)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		return dse.RenderFig5Case(w, dse.Fig5B())
-	}},
-	{"5c", "Fig 5(c)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		return dse.RenderFig5C(w, dse.Fig5C())
-	}},
-	{"6a", "Fig 6(a)", func(_ context.Context, w io.Writer, cfg renderConfig) error {
-		return dse.RenderFig6A(w, dse.Fig6A(cfg.gridN, cfg.gridN))
-	}},
-	{"6b", "Fig 6(b)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		pts, err := dse.Fig6B([]float64{1e-2, 1e-4, 1e-6})
-		if err != nil {
-			return err
-		}
-		return dse.RenderFig6B(w, pts)
-	}},
-	{"6c", "Fig 6(c)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		return dse.RenderFig6C(w, dse.Fig6C())
-	}},
-	{"7a", "Fig 7(a)", renderFig7A},
-	{"7b", "Fig 7(b)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		rows, err := dse.Fig7B([]int{2, 4, 8, 12, 16})
-		if err != nil {
-			return err
-		}
-		return dse.RenderFig7B(w, rows)
-	}},
-	{"summary", "Summary", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		s, err := dse.Summary()
-		if err != nil {
-			return err
-		}
-		return dse.RenderSummary(w, s)
-	}},
-	{"tradeoff", "Throughput-accuracy trade-off (§V.B extension)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		return renderTradeoff(w)
-	}},
-	{"sweep", "Accuracy vs stream length (word-parallel batch engine)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		const sweepPoints = 17
-		rows, err := dse.StreamLengthSweep([]int{64, 256, 1024, 4096, 16384}, sweepPoints, 9)
-		if err != nil {
-			return err
-		}
-		return dse.RenderStreamLengthSweep(w, rows, sweepPoints)
-	}},
-	{"noise", "Monte-Carlo noise study (accuracy/BER vs length, probe power, sigma)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		spec, err := dse.DefaultNoiseStudySpec()
-		if err != nil {
-			return err
-		}
-		rows, err := dse.NoiseStudy(spec)
-		if err != nil {
-			return err
-		}
-		return dse.RenderNoiseStudy(w, rows, spec)
-	}},
-	{"edge", "Image PSNR vs stream length (packed tiled engine)", func(_ context.Context, w io.Writer, _ renderConfig) error {
-		rows, err := dse.EdgeStudy([]int{64, 256, 1024, 4096}, 7)
-		if err != nil {
-			return err
-		}
-		return dse.RenderEdgeStudy(w, rows)
-	}},
-	{"waterfall", "BER waterfall (parallel over probe powers)", renderWaterfall},
-	{"trace", "Transient waveform (word-parallel trace)", renderTrace},
-	{"video", "Gamma video batch (cross-frame LUT cache)", renderVideo},
-	{"yield", "Process-variation yield study (checkpointable)", renderYieldStudy},
-	{"ablation", "Ablations", renderAblations},
-}
-
-// figureKeys lists every registered -fig key in -fig all order.
-func figureKeys() []string {
-	keys := make([]string, len(figures))
-	for i, f := range figures {
-		keys[i] = f.key
-	}
-	return keys
-}
-
-func run(ctx context.Context, w io.Writer, fig string, cfg renderConfig, workers int, timing bool) error {
-	if cfg.gridN < 2 {
-		return fmt.Errorf("-grid %d: need >= 2 points per axis", cfg.gridN)
-	}
-	if cfg.sweepN < 2 {
-		return fmt.Errorf("-sweep %d: need >= 2 points", cfg.sweepN)
-	}
-	if cfg.samples < 1 {
-		return fmt.Errorf("-samples %d: need >= 1 die per sigma", cfg.samples)
+// run validates the flag set and renders the selected figure(s). Split
+// from main so the validation contract (checkpoint flags only with
+// -fig yield, -resume only with -checkpoint, unknown figures listing
+// the sorted registry) is testable.
+func run(ctx context.Context, w io.Writer, fig string, cfg figures.Config, workers int, timing bool) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers %d: need >= 0", workers)
 	}
-	if (cfg.checkpoint != "" || cfg.resume) && fig != "yield" {
-		return fmt.Errorf("-checkpoint/-resume apply to -fig yield only (got -fig %s)", fig)
+	if cfg.Resume && cfg.Checkpoint == "" {
+		return fmt.Errorf("-resume needs a -checkpoint file naming the snapshot to load")
 	}
-	if cfg.resume && cfg.checkpoint == "" {
-		return fmt.Errorf("-resume needs a -checkpoint file")
+	if (cfg.Checkpoint != "" || cfg.Resume) && fig != "yield" {
+		return fmt.Errorf("-checkpoint/-resume apply to -fig yield only (got -fig %s); they would be silently ignored otherwise", fig)
 	}
 	if workers > 0 {
 		// The worker pool sizes itself from GOMAXPROCS; capping it here
@@ -232,282 +128,29 @@ func run(ctx context.Context, w io.Writer, fig string, cfg renderConfig, workers
 	}
 
 	any := false
-	for _, f := range figures {
-		if fig != "all" && fig != f.key {
+	for _, f := range figures.All() {
+		if fig != "all" && fig != f.Key {
 			continue
 		}
 		any = true
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("stopping before %s: %w", f.key, err)
+			return fmt.Errorf("stopping before %s: %w", f.Key, err)
 		}
-		if _, err := fmt.Fprintf(w, "\n==== %s ====\n\n", f.title); err != nil {
+		if _, err := fmt.Fprintf(w, "\n==== %s ====\n\n", f.Title); err != nil {
 			return err
 		}
 		start := time.Now()
-		if err := f.render(ctx, w, cfg); err != nil {
+		if err := f.Render(ctx, w, cfg); err != nil {
 			return err
 		}
 		if timing {
-			if _, err := fmt.Fprintf(w, "[%s: %v]\n", f.key, time.Since(start).Round(time.Microsecond)); err != nil {
+			if _, err := fmt.Fprintf(w, "[%s: %v]\n", f.Key, time.Since(start).Round(time.Microsecond)); err != nil {
 				return err
 			}
 		}
 	}
 	if !any {
-		return fmt.Errorf("unknown figure %q (available: %s, all)", fig, strings.Join(figureKeys(), ", "))
+		return fmt.Errorf("unknown figure %q (available: %s, all)", fig, strings.Join(figures.SortedKeys(), ", "))
 	}
 	return nil
-}
-
-func renderFig7A(_ context.Context, w io.Writer, cfg renderConfig) error {
-	series, err := dse.Fig7A([]int{2, 4, 6}, cfg.sweepN)
-	if err != nil {
-		return err
-	}
-	if err := dse.RenderFig7A(w, series); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w, "\nn=2 curves (chart):"); err != nil {
-		return err
-	}
-	chartPts := core.NewEnergyModel(2).Sweep(0.11, 0.3, 48)
-	if err := dse.RenderEnergyChartASCII(w, chartPts, 96, 18, 70); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	profile, err := dse.ApplicationProfile()
-	if err != nil {
-		return err
-	}
-	return dse.RenderApplicationProfile(w, profile)
-}
-
-func renderAblations(ctx context.Context, w io.Writer, _ renderConfig) error {
-	if err := dse.RenderRingSensitivity(w, dse.RingSensitivity([]float64{0.75, 1.0, 1.25, 1.5})); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	rows, err := dse.APDComparison(1e-6)
-	if err != nil {
-		return err
-	}
-	if err := dse.RenderAPDComparison(w, rows, 1e-6); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	ps, err := dse.ParallelScaling([]int{1, 4, 16, 64}, 256)
-	if err != nil {
-		return err
-	}
-	if err := dse.RenderParallelScaling(w, ps, 256); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	if err := core.MustCircuit(core.PaperParams()).ComputeLinkBudget().Render(w); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	return renderYield(ctx, w)
-}
-
-func renderYield(ctx context.Context, w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "Monte-Carlo process variation (ring resonance σ, 200 dies, BER target 1e-6):"); err != nil {
-		return err
-	}
-	p := core.PaperParams()
-	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
-	for _, sigma := range []float64{0.01, 0.05, 0.1, 0.2} {
-		r, err := core.AnalyzeYieldCtx(ctx, engine.Default(), p, core.VariationSpec{
-			RingResonanceSigmaNM: sigma,
-			Samples:              200,
-			Seed:                 99,
-			TargetBER:            1e-6,
-		})
-		if err != nil {
-			return err
-		}
-		t.AddRow(
-			fmt.Sprintf("%.2f", sigma),
-			fmt.Sprintf("%.1f%%", r.Yield*100),
-			fmt.Sprintf("%.4f", r.MeanEyeMW),
-			fmt.Sprintf("%.3g", r.WorstBER),
-		)
-	}
-	return t.Render(w)
-}
-
-// yieldCheckpointEvery is the save cadence of the checkpointed yield
-// study: a durable snapshot every this many completed dies
-// (count-based so the cadence is deterministic).
-const yieldCheckpointEvery = 10
-
-// renderYieldStudy regenerates the standalone yield figure: one row
-// per ring-resonance sigma, -samples dies each, dispatched die-by-die
-// on the default engine. With -checkpoint the completed dies snapshot
-// to disk (and survive SIGINT); with -resume a matching snapshot is
-// loaded first and only the missing dies re-run — the reassembled
-// figure is bit-identical to an uninterrupted run.
-func renderYieldStudy(ctx context.Context, w io.Writer, cfg renderConfig) error {
-	s := dse.YieldStudy{
-		Params:    core.PaperParams(),
-		SigmasNM:  []float64{0.01, 0.05, 0.1, 0.2},
-		Samples:   cfg.samples,
-		Seed:      99,
-		TargetBER: 1e-6,
-	}
-	var points []dse.YieldPoint
-	var err error
-	if cfg.checkpoint != "" {
-		cp := dse.NewCheckpointer[core.DieOutcome](cfg.checkpoint, yieldCheckpointEvery, s.Key())
-		if cfg.resume {
-			restored, lerr := cp.Load()
-			if lerr != nil {
-				return lerr
-			}
-			if _, perr := fmt.Fprintf(w, "resumed %d/%d dies from %s\n", restored, s.N(), cfg.checkpoint); perr != nil {
-				return perr
-			}
-		}
-		points, err = s.RunCheckpointed(ctx, engine.Default(), cp)
-	} else {
-		points, err = s.RunCtx(ctx, engine.Default())
-	}
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%d dies per sigma, BER target %g, seed %d:\n", s.Samples, s.TargetBER, s.Seed); err != nil {
-		return err
-	}
-	t := dse.NewTable("resonance σ (nm)", "yield", "mean eye (mW)", "worst BER")
-	for _, pt := range points {
-		t.AddRow(
-			fmt.Sprintf("%.2f", pt.SigmaNM),
-			fmt.Sprintf("%.1f%%", pt.Result.Yield*100),
-			fmt.Sprintf("%.4f", pt.Result.MeanEyeMW),
-			fmt.Sprintf("%.3g", pt.Result.WorstBER),
-		)
-	}
-	return t.Render(w)
-}
-
-// renderWaterfall regenerates the BER waterfall: worst-case measured
-// vs Eq. (9) analytic BER across probe powers sized for BER 1e-1 down
-// to 1e-4. The points fan over the worker pool with per-point derived
-// seeds, so the table is identical at any -workers setting.
-func renderWaterfall(ctx context.Context, w io.Writer, _ renderConfig) error {
-	base := core.PaperParams()
-	c := core.MustCircuit(base)
-	powers := []float64{
-		c.MinProbePowerMW(1e-1),
-		c.MinProbePowerMW(1e-2),
-		c.MinProbePowerMW(1e-3),
-		c.MinProbePowerMW(1e-4),
-	}
-	pts, err := transient.BERWaterfallCtx(ctx, engine.Default(), base, powers, 200_000, 29)
-	if err != nil {
-		return err
-	}
-	t := dse.NewTable("probe (mW)", "measured BER", "analytic BER")
-	for _, p := range pts {
-		t.AddRow(fmt.Sprintf("%.4f", p.ProbeMW), fmt.Sprintf("%.3g", p.MeasuredBER), fmt.Sprintf("%.3g", p.AnalyticBER))
-	}
-	return t.Render(w)
-}
-
-// renderTrace regenerates the pulse-gated transient waveform on a
-// deliberately hot link (probe sized for BER 1e-3), one row per slot:
-// the decision bit and the gated received-power peak. The trace runs
-// word-parallel (core.Unit.Cycles + block noise) and is single-stream,
-// so the table is identical at any -workers setting.
-func renderTrace(_ context.Context, w io.Writer, _ renderConfig) error {
-	p := core.PaperParams()
-	p.ProbePowerMW = core.MustCircuit(p).MinProbePowerMW(1e-3)
-	c, err := core.NewCircuit(p)
-	if err != nil {
-		return err
-	}
-	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 7)
-	if err != nil {
-		return err
-	}
-	sim := transient.NewSimulator(u, 8)
-	const bits, spb = 16, 8
-	tr, err := sim.Trace(0.5, bits, spb)
-	if err != nil {
-		return err
-	}
-	t := dse.NewTable("slot", "bit", "gated peak (mW)")
-	for b := 0; b < bits; b++ {
-		peak := 0.0
-		for k := 0; k < spb; k++ {
-			if pt := tr[b*spb+k]; pt.Gated && pt.ReceivedMW > peak {
-				peak = pt.ReceivedMW
-			}
-		}
-		t.AddRow(fmt.Sprint(b), fmt.Sprint(tr[b*spb].Bit), fmt.Sprintf("%.4f", peak))
-	}
-	return t.Render(w)
-}
-
-// renderVideo regenerates the gamma video batch: four synthetic
-// frames corrected through one cached LUT (built once per recipe,
-// applied per frame over the pool), scored against the exact
-// transfer function.
-func renderVideo(ctx context.Context, w io.Writer, _ renderConfig) error {
-	frames := []*img.Gray{
-		img.Gradient(48, 32),
-		img.Radial(48, 32),
-		img.Checkerboard(48, 32, 6, 40, 210),
-		img.Gradient(48, 32),
-	}
-	var cache img.GammaLUTCache
-	out, err := img.GammaVideoCtx(ctx, engine.Default(), frames, 0.45, 6, 0.3, 1024, 13, &cache)
-	if err != nil {
-		return err
-	}
-	t := dse.NewTable("frame", "PSNR vs exact (dB)", "MAE")
-	for i, f := range out {
-		exact := img.GammaExact(frames[i], 0.45)
-		t.AddRow(fmt.Sprint(i), fmt.Sprintf("%.2f", img.PSNR(exact, f)), fmt.Sprintf("%.3f", img.MeanAbsoluteError(exact, f)))
-	}
-	return t.Render(w)
-}
-
-func renderTradeoff(w io.Writer) error {
-	// Size the paper circuit for a deliberately noisy 1e-2 link, then
-	// show RMSE vs stream length with the implied throughput.
-	p := core.PaperParams()
-	p.ProbePowerMW = core.MustCircuit(p).MinProbePowerMW(1e-2)
-	c, err := core.NewCircuit(p)
-	if err != nil {
-		return err
-	}
-	u, err := core.NewUnit(c, stochastic.NewBernstein([]float64{0.25, 0.625, 0.75}), 7)
-	if err != nil {
-		return err
-	}
-	sim := transient.NewSimulator(u, 8)
-	if _, err := fmt.Fprintf(w, "probe sized for BER 1e-2: %.4f mW; analytic worst-case BER %.2e\n\n",
-		p.ProbePowerMW, sim.AnalyticWorstCaseBER()); err != nil {
-		return err
-	}
-	pts, err := sim.AccuracyVsLength(0.5, []int{64, 256, 1024, 4096, 16384}, 30)
-	if err != nil {
-		return err
-	}
-	t := dse.NewTable("stream length", "RMSE", "results/s @1 Gb/s")
-	for _, pt := range pts {
-		t.AddRow(fmt.Sprint(pt.StreamLen), fmt.Sprintf("%.4f", pt.RMSE), fmt.Sprintf("%.3g", pt.ThroughputResultsPerSec))
-	}
-	return t.Render(w)
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/figures"
+)
+
+func runErr(t *testing.T, fig string, cfg figures.Config) error {
+	t.Helper()
+	return run(context.Background(), io.Discard, fig, cfg, 0, false)
+}
+
+// TestCheckpointFlagValidation pins the flag contract: -resume without
+// a snapshot file and checkpoint flags on non-yield figures are loud
+// errors, never silent no-ops.
+func TestCheckpointFlagValidation(t *testing.T) {
+	base := figures.Defaults()
+
+	cfg := base
+	cfg.Resume = true
+	err := runErr(t, "yield", cfg)
+	if err == nil || !strings.Contains(err.Error(), "-resume needs a -checkpoint") {
+		t.Errorf("-resume without -checkpoint: err = %v, want a -checkpoint complaint", err)
+	}
+
+	for _, fig := range []string{"5a", "waterfall", "all"} {
+		cfg = base
+		cfg.Checkpoint = "snap.json"
+		err = runErr(t, fig, cfg)
+		if err == nil || !strings.Contains(err.Error(), "-fig yield only") {
+			t.Errorf("-checkpoint with -fig %s: err = %v, want a yield-only complaint", fig, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), fig) {
+			t.Errorf("-checkpoint with -fig %s: err %q does not name the offending figure", fig, err)
+		}
+	}
+
+	// Both flags together on a non-yield figure: still one clear error.
+	cfg = base
+	cfg.Checkpoint = "snap.json"
+	cfg.Resume = true
+	if err = runErr(t, "edge", cfg); err == nil || !strings.Contains(err.Error(), "-fig yield only") {
+		t.Errorf("-checkpoint -resume with -fig edge: err = %v", err)
+	}
+}
+
+// TestUnknownFigureListsSortedKeys pins the satellite contract that
+// every unknown-name error enumerates the valid names in sorted order.
+func TestUnknownFigureListsSortedKeys(t *testing.T) {
+	err := runErr(t, "nope", figures.Defaults())
+	if err == nil {
+		t.Fatal("unknown figure did not error")
+	}
+	keys := figures.SortedKeys()
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("figures.SortedKeys() is not sorted: %v", keys)
+	}
+	want := strings.Join(keys, ", ")
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not list sorted keys %q", err, want)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := figures.Defaults()
+	cfg.GridN = 1
+	if err := runErr(t, "6a", cfg); err == nil {
+		t.Error("grid 1 accepted")
+	}
+	if err := run(context.Background(), io.Discard, "5a", figures.Defaults(), -1, false); err == nil {
+		t.Error("workers -1 accepted")
+	}
+}

@@ -132,6 +132,28 @@
 // every entry point either recovers bit-identically or fails with a
 // typed error naming the faulting index.
 //
+// All of it is servable over HTTP: cmd/oscserve (internal/serve)
+// exposes the figure registry (shared with oscbench via
+// internal/figures), the BER waterfall, the checkpointable yield
+// study and the gamma/edge image operators as a JSON API — POST
+// /v1/figures/{key}, /v1/ber, /v1/yield, /v1/image/{gamma,edge}, GET
+// /v1/figures, /healthz, /readyz. The service composes the layers
+// above into crash-safety guarantees: a bounded job queue answers 503
+// with Retry-After instead of spawning unbounded goroutines, every
+// job dispatches on one shared engine.Limited (a slot-semaphore
+// engine, registered and enginetest-verified) so concurrent requests
+// never oversubscribe the machine, per-request deadlines thread into
+// the *Ctx entry points and surface engine.Partial progress in typed
+// 504 bodies, a panicking work item becomes a typed 500 naming the
+// faulting index while the server keeps serving, and SIGTERM drains
+// gracefully — in-flight sweeps checkpoint at an item boundary, and a
+// restarted server resumes a re-POSTed /v1/yield byte-identical to an
+// uninterrupted run. Responses are cached under the same fail-closed
+// (figure, config, seed, N) content address the checkpoints use,
+// which the determinism contract makes safe: equal keys are equal
+// bytes on any engine at any worker count. See internal/serve's
+// package comment for the full API, error-kind and retry reference.
+//
 // The implementation lives in internal/ packages:
 //
 //   - internal/numeric — numerical substrate (special functions,
@@ -144,8 +166,12 @@
 //   - internal/parallel — the worker-pool primitive behind the batch
 //     evaluators;
 //   - internal/engine — the pluggable evaluation-engine layer
-//     (Serial, WordParallel, registry, chunked dispatch) and its
-//     enginetest cross-engine equivalence suite;
+//     (Serial, WordParallel, Chaos, Limited, registry, chunked
+//     dispatch) and its enginetest cross-engine equivalence suite;
+//   - internal/figures — the figure registry shared by oscbench and
+//     oscserve;
+//   - internal/serve — the HTTP simulation service behind
+//     cmd/oscserve;
 //   - internal/core — the optical SC architecture: transmission model
 //     (Eqs. 5–7), SNR/BER (Eqs. 8–9), MRR-first and MZI-first design
 //     methods, the pulsed-pump energy model and a reconfigurable

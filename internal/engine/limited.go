@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Limited wraps an inner engine behind a shared slot semaphore: at
+// most `slots` work items run concurrently across every dispatch that
+// goes through the same Limited instance. It is the admission seam a
+// long-running service needs — N concurrent jobs can all dispatch on
+// one Limited engine without oversubscribing the machine, because the
+// cap applies to the union of their items, not per dispatch.
+//
+// Limiting changes scheduling only: every index still runs exactly
+// once with the same derived seeds, so a Limited engine satisfies the
+// full determinism contract and passes the generic enginetest suite
+// (its results are bit-identical to engine.Serial).
+type Limited struct {
+	name  string
+	inner Engine
+	slots chan struct{}
+}
+
+// NewLimited wraps inner behind a semaphore of `slots` concurrently
+// running items. A nil inner or slots < 1 panics (engine misuse, like
+// Use).
+func NewLimited(name string, inner Engine, slots int) *Limited {
+	if slots < 1 {
+		panic("engine: NewLimited needs slots >= 1")
+	}
+	return &Limited{name: name, inner: Use(inner), slots: make(chan struct{}, slots)}
+}
+
+// Name implements Engine.
+func (l *Limited) Name() string { return l.name }
+
+// Workers implements Engine: the inner pool size, capped at the slot
+// count (more workers than slots would only block on the semaphore).
+func (l *Limited) Workers(n int) int {
+	w := l.inner.Workers(n)
+	if cap(l.slots) < w {
+		return cap(l.slots)
+	}
+	return w
+}
+
+// Slots reports the concurrency cap the engine was built with.
+func (l *Limited) Slots() int { return cap(l.slots) }
+
+// InFlight reports how many items are running right now — what a
+// service health endpoint surfaces as dispatch load.
+func (l *Limited) InFlight() int { return len(l.slots) }
+
+// run executes one item inside a slot, releasing it even when the
+// item panics so a fault never leaks semaphore capacity.
+func (l *Limited) run(fn func()) {
+	l.slots <- struct{}{}
+	defer func() { <-l.slots }()
+	fn()
+}
+
+// For implements Engine.
+func (l *Limited) For(n int, fn func(i int)) {
+	l.inner.For(n, func(i int) { l.run(func() { fn(i) }) })
+}
+
+// ForWorker implements Engine.
+func (l *Limited) ForWorker(n, workers int, fn func(worker, i int)) {
+	l.inner.ForWorker(n, workers, func(w, i int) { l.run(func() { fn(w, i) }) })
+}
+
+// ForCtx implements CtxEngine. Cancellation is observed both by the
+// inner engine's own handout and while waiting for a slot, so a
+// saturated semaphore cannot outlive the caller's deadline. An item
+// skipped at the slot wait is reported through the returned error —
+// the inner dispatch may have walked past it, but ForCtx never
+// returns nil with work undone.
+func (l *Limited) ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	var skipped atomic.Bool
+	err := ForCtx(ctx, l.inner, n, func(i int) { l.runCtx(ctx, &skipped, func() { fn(i) }) })
+	if err == nil && skipped.Load() {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// ForWorkerCtx implements CtxEngine.
+func (l *Limited) ForWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	var skipped atomic.Bool
+	err := ForWorkerCtx(ctx, l.inner, n, workers, func(w, i int) { l.runCtx(ctx, &skipped, func() { fn(w, i) }) })
+	if err == nil && skipped.Load() {
+		err = ctx.Err()
+	}
+	return err
+}
+
+func init() {
+	// A shared registered instance with a deliberately tight cap, so
+	// every package's enginetest suite replays on a slot-starved
+	// dispatch — proof that admission limiting never changes results.
+	if err := Register(NewLimited("limited", WordParallel, 2)); err != nil {
+		panic(err)
+	}
+}
+
+// runCtx is run with a cancellable slot acquisition: when the context
+// fires before a slot frees, the item is skipped and flagged so the
+// dispatch reports the cancellation instead of success — a skipped
+// item is never silently treated as done.
+func (l *Limited) runCtx(ctx context.Context, skipped *atomic.Bool, fn func()) {
+	if ctx == nil {
+		l.run(fn)
+		return
+	}
+	select {
+	case l.slots <- struct{}{}:
+	case <-ctx.Done():
+		skipped.Store(true)
+		return
+	}
+	defer func() { <-l.slots }()
+	fn()
+}

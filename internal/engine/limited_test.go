@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLimitedRunsEveryIndexOnce: the semaphore changes scheduling
+// only — every index still runs exactly once, on both dispatch faces.
+func TestLimitedRunsEveryIndexOnce(t *testing.T) {
+	l := NewLimited("t", WordParallel, 2)
+	const n = 64
+	var counts [n]atomic.Int32
+	l.For(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("For: index %d ran %d times, want 1", i, got)
+		}
+		counts[i].Store(0)
+	}
+	w := l.Workers(n)
+	l.ForWorker(n, w, func(_, i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("ForWorker: index %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestLimitedCapsConcurrency: at no instant do more than Slots()
+// items run, even when the inner pool is wider.
+func TestLimitedCapsConcurrency(t *testing.T) {
+	const slots = 2
+	l := NewLimited("t", WordParallel, slots)
+	var cur, peak atomic.Int32
+	l.For(128, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak concurrency %d exceeds the %d-slot cap", p, slots)
+	}
+	if in := l.InFlight(); in != 0 {
+		t.Fatalf("InFlight() = %d after dispatch returned, want 0", in)
+	}
+}
+
+// TestLimitedWorkersCappedBySlots: Workers never reports more
+// parallelism than the semaphore allows.
+func TestLimitedWorkersCappedBySlots(t *testing.T) {
+	l := NewLimited("t", WordParallel, 1)
+	if w := l.Workers(100); w != 1 {
+		t.Fatalf("Workers(100) = %d with 1 slot, want 1", w)
+	}
+	if s := l.Slots(); s != 1 {
+		t.Fatalf("Slots() = %d, want 1", s)
+	}
+}
+
+// TestLimitedReleasesSlotOnPanic: a panicking item must not leak
+// semaphore capacity; the panic itself still propagates typed.
+func TestLimitedReleasesSlotOnPanic(t *testing.T) {
+	l := NewLimited("t", Serial, 1)
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("panic did not propagate through Limited")
+			}
+		}()
+		l.For(1, func(int) { panic("boom") })
+	}()
+	if in := l.InFlight(); in != 0 {
+		t.Fatalf("InFlight() = %d after a panic, want 0 (leaked slot)", in)
+	}
+	// The freed slot must still be usable.
+	ran := false
+	l.For(1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("dispatch after a panic did not run")
+	}
+}
+
+// TestLimitedCtxCancelWhileSaturated: a dispatch cancelled while the
+// semaphore is held by someone else reports the cancellation — never
+// a silent success with work skipped.
+func TestLimitedCtxCancelWhileSaturated(t *testing.T) {
+	l := NewLimited("t", WordParallel, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	holderDone := make(chan struct{})
+	go func() {
+		defer close(holderDone)
+		l.For(1, func(int) { close(started); <-block })
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	ran := make(chan struct{}, 1)
+	go func() {
+		errCh <- l.ForCtx(ctx, 1, func(int) { ran <- struct{}{} })
+	}()
+	cancel()
+	err := <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx under a held slot returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-ran:
+		t.Fatal("cancelled dispatch ran its item anyway")
+	default:
+	}
+	close(block)
+	<-holderDone
+}
+
+// TestLimitedMisuse: the constructor rejects broken configurations
+// loudly.
+func TestLimitedMisuse(t *testing.T) {
+	for name, build := range map[string]func(){
+		"nil inner": func() { NewLimited("t", nil, 1) },
+		"zero slot": func() { NewLimited("t", Serial, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewLimited did not panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+// TestLimitedRegistered: the shared "limited" instance is in the
+// registry, so every package's enginetest suite replays on it.
+func TestLimitedRegistered(t *testing.T) {
+	e, err := Get("limited")
+	if err != nil {
+		t.Fatalf("Get(limited): %v", err)
+	}
+	l, ok := e.(*Limited)
+	if !ok {
+		t.Fatalf("registered limited engine is %T, want *Limited", e)
+	}
+	if l.Slots() < 1 {
+		t.Fatalf("registered limited engine has %d slots", l.Slots())
+	}
+	if _, ok := e.(CtxEngine); !ok {
+		t.Fatal("*Limited does not implement CtxEngine")
+	}
+}

@@ -1,0 +1,105 @@
+package figures
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestSortedKeysSortedAndComplete(t *testing.T) {
+	keys := SortedKeys()
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("SortedKeys() = %v, want sorted", keys)
+	}
+	if len(keys) != len(Keys()) {
+		t.Fatalf("SortedKeys has %d keys, Keys has %d", len(keys), len(Keys()))
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range Keys() {
+		seen[k] = true
+	}
+	for _, k := range keys {
+		if !seen[k] {
+			t.Errorf("SortedKeys key %q missing from Keys", k)
+		}
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	for _, k := range Keys() {
+		f, ok := Get(k)
+		if !ok {
+			t.Errorf("Get(%q) not found", k)
+			continue
+		}
+		if f.Key != k {
+			t.Errorf("Get(%q).Key = %q", k, f.Key)
+		}
+		if f.Title == "" || f.Render == nil {
+			t.Errorf("figure %q incomplete: %+v", k, f)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get of unknown key succeeded")
+	}
+	if len(All()) != len(Keys()) {
+		t.Errorf("All() has %d figures, Keys() %d", len(All()), len(Keys()))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		wantE string
+	}{
+		{"defaults ok", func(*Config) {}, ""},
+		{"grid too small", func(c *Config) { c.GridN = 1 }, "-grid"},
+		{"sweep too small", func(c *Config) { c.SweepN = 1 }, "-sweep"},
+		{"samples zero", func(c *Config) { c.Samples = 0 }, "-samples"},
+	}
+	for _, tc := range cases {
+		cfg := Defaults()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if tc.wantE == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantE) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantE)
+		}
+	}
+}
+
+// TestRenderEngineHonored: a figure render dispatches on the Config's
+// engine, not the process default, so services can pin their own.
+func TestRenderEngineHonored(t *testing.T) {
+	f, ok := Get("5a")
+	if !ok {
+		t.Fatal("figure 5a not registered")
+	}
+	cfg := Defaults()
+	cfg.Engine = engine.Serial
+	var a bytes.Buffer
+	if err := f.Render(context.Background(), &a, cfg); err != nil {
+		t.Fatalf("render on Serial: %v", err)
+	}
+	cfg.Engine = engine.WordParallel
+	var b bytes.Buffer
+	if err := f.Render(context.Background(), &b, cfg); err != nil {
+		t.Fatalf("render on WordParallel: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Error("5a output differs across engines (determinism contract broken)")
+	}
+	if a.Len() == 0 {
+		t.Error("5a rendered empty output")
+	}
+}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// BenchmarkServeFig measures end-to-end request service for a figure
+// job on a warm cache — the steady-state path of a healthy service:
+// route, decode, validate, content-address, cache hit, write.
+func BenchmarkServeFig(b *testing.B) {
+	s := New(Config{Engine: engine.Serial})
+	warm := post(s, "/v1/figures/5a", "")
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm-up = %d: %s", warm.Code, warm.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/figures/5a", strings.NewReader(""))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeFigCold measures the full compute path: every
+// iteration renders the figure through the bounded queue and limited
+// engine (cache disabled).
+func BenchmarkServeFigCold(b *testing.B) {
+	s := New(Config{Engine: engine.Serial, CacheEntries: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/figures/5a", strings.NewReader(""))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dse"
+)
+
+// cacheKey renders the content address of a response: the same
+// fail-closed (figure, config, seed, N) scheme dse checkpoints key on,
+// hashed with dse.CheckpointKey.Hash. Two requests with equal keys are
+// guaranteed the same bytes by the repo's determinism contract (every
+// result depends only on explicit config and derived seeds), which is
+// what makes retries idempotent and responses shareable across
+// engines and worker counts.
+func cacheKey(figure, config string, seed uint64, n int) string {
+	return dse.CheckpointKey{Figure: figure, Config: config, Seed: seed, N: n}.Hash()
+}
+
+// entry is one cached response: exactly the status, content type and
+// body a fresh computation produced.
+type entry struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// Cache is the bounded content-addressed result cache. Eviction is
+// strict FIFO by first insertion — deterministic, no map-iteration
+// order anywhere — and lookups/stores are safe under concurrent
+// handler traffic.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]entry
+	order   []string // insertion order, oldest first
+
+	hits, misses atomic.Int64
+}
+
+// NewCache builds a cache holding at most max entries; max < 1
+// disables caching (every Get misses, every Put is dropped).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, entries: make(map[string]entry)}
+}
+
+// Get returns the cached response for key, counting the hit or miss.
+func (c *Cache) Get(key string) (entry, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Put stores a response under key, evicting the oldest entry when
+// full. Storing an existing key overwrites in place (the bytes are
+// identical by the determinism contract, so this is a no-op in
+// content terms).
+func (c *Cache) Put(key string, e entry) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = e
+		return
+	}
+	if len(c.order) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}
+
+// Len is the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports cumulative lookup counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// configString renders key=value pairs into the deterministic config
+// half of a cache key. Callers pass alternating name, value pairs.
+func configString(pairs ...any) string {
+	s := ""
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v=%v", pairs[i], pairs[i+1])
+	}
+	return s
+}
