@@ -38,6 +38,20 @@
 //	oscbench -fig yield -samples 500 -checkpoint yield.json
 //	^C                         # interrupt; completed dies are on disk
 //	oscbench -fig yield -samples 500 -checkpoint yield.json -resume
+//
+// The yield study also shards across processes or machines: -shard k/n
+// runs only the dies shard k of n owns (round-robin by die index) into
+// a shard-tagged snapshot (yield.json -> yield.shard<k>of<n>.json).
+// Because every die derives its randomness from the die index alone,
+// the shards' snapshots merge (cmd/oscmerge) into a checkpoint
+// byte-identical to an unsharded run's, which -resume then renders
+// without recomputing anything:
+//
+//	oscbench -fig yield -checkpoint yield.json -shard 0/3   # one per host
+//	oscbench -fig yield -checkpoint yield.json -shard 1/3
+//	oscbench -fig yield -checkpoint yield.json -shard 2/3
+//	oscmerge -o yield.json yield.shard*of3.json
+//	oscbench -fig yield -checkpoint yield.json -resume
 package main
 
 import (
@@ -48,6 +62,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -66,7 +81,14 @@ func main() {
 	samples := flag.Int("samples", figures.Defaults().Samples, "dies per sigma for -fig yield (>= 1)")
 	checkpoint := flag.String("checkpoint", "", "snapshot file for -fig yield (enables interrupt/resume)")
 	resume := flag.Bool("resume", false, "resume -fig yield from the -checkpoint file")
+	shard := flag.String("shard", "", "run only shard k of n of -fig yield as k/n (e.g. 0/3; needs -checkpoint, merge with oscmerge)")
 	flag.Parse()
+
+	shardK, shardN, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oscbench:", err)
+		os.Exit(1)
+	}
 
 	if *engName != "" {
 		e, err := engine.Get(*engName)
@@ -96,11 +118,37 @@ func main() {
 		Samples:    *samples,
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
+		ShardK:     shardK,
+		ShardN:     shardN,
 	}
 	if err := run(ctx, os.Stdout, *fig, cfg, *workers, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "oscbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShard parses a -shard spec: "" means unsharded, otherwise "k/n"
+// with 0 <= k < n. Range errors phrase the constraint for flag users.
+func parseShard(spec string) (k, n int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	lhs, rhs, found := strings.Cut(spec, "/")
+	if !found {
+		return 0, 0, fmt.Errorf("-shard %q: want k/n (e.g. 0/3)", spec)
+	}
+	k, err = strconv.Atoi(lhs)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: shard index %q is not an integer", spec, lhs)
+	}
+	n, err = strconv.Atoi(rhs)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: shard count %q is not an integer", spec, rhs)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("-shard %q: shard index must be in [0, n) with n >= 1", spec)
+	}
+	return k, n, nil
 }
 
 // run validates the flag set and renders the selected figure(s). Split
@@ -119,6 +167,14 @@ func run(ctx context.Context, w io.Writer, fig string, cfg figures.Config, worke
 	}
 	if (cfg.Checkpoint != "" || cfg.Resume) && fig != "yield" {
 		return fmt.Errorf("-checkpoint/-resume apply to -fig yield only (got -fig %s); they would be silently ignored otherwise", fig)
+	}
+	if cfg.ShardN > 0 {
+		if fig != "yield" {
+			return fmt.Errorf("-shard applies to -fig yield only (got -fig %s); other figures do not shard yet", fig)
+		}
+		if cfg.Checkpoint == "" {
+			return fmt.Errorf("-shard %d/%d needs -checkpoint: a shard's output is its snapshot file, merged later with oscmerge", cfg.ShardK, cfg.ShardN)
+		}
 	}
 	if workers > 0 {
 		// The worker pool sizes itself from GOMAXPROCS; capping it here

@@ -1,0 +1,68 @@
+// Command oscmerge assembles a sharded sweep: it merges the
+// shard-tagged checkpoint snapshots that `oscbench -fig yield
+// -checkpoint yield.json -shard k/n` legs write into one complete
+// checkpoint, byte-identical to the snapshot an unsharded run would
+// have saved — so a follow-up `oscbench -fig yield -checkpoint
+// <merged> -resume` renders the study without recomputing a die.
+//
+// Usage:
+//
+//	oscmerge -o yield.json yield.shard0of3.json yield.shard1of3.json yield.shard2of3.json
+//
+// The merge fails closed on every distributed-run failure mode: a
+// snapshot from a different study (content-hash key mismatch), two
+// snapshots disagreeing on the same point (the determinism contract
+// says shards of one key are bit-identical, so disagreement is
+// corruption, not a tiebreak), and points no shard completed (resume
+// the missing shard instead of shipping a gap). Overlapping points
+// that agree byte-for-byte are fine — re-running a shard is a
+// legitimate recovery — and are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dse"
+)
+
+func main() {
+	out := flag.String("o", "", "output path for the merged checkpoint (required)")
+	flag.Parse()
+	if err := run(os.Stdout, *out, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "oscmerge:", err)
+		os.Exit(1)
+	}
+}
+
+// run merges the input snapshots into out and prints the contribution
+// summary. Split from main so the fail-closed contract is testable.
+func run(w io.Writer, out string, inputs []string) error {
+	if out == "" {
+		return fmt.Errorf("-o is required: the merged checkpoint path")
+	}
+	if len(inputs) == 0 {
+		return fmt.Errorf("no shard checkpoints to merge (pass them as arguments)")
+	}
+	rep, err := dse.MergeCheckpoints(out, inputs)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "merged %d/%d points into %s (key %s, seed %d)\n",
+		rep.Merged, rep.N, out, rep.Key.Figure, rep.Key.Seed); err != nil {
+		return err
+	}
+	for i, c := range rep.PerInput {
+		if _, err := fmt.Fprintf(w, "  %s: %d point(s)\n", inputs[i], c); err != nil {
+			return err
+		}
+	}
+	if rep.Overlap > 0 {
+		if _, err := fmt.Fprintf(w, "  %d overlapping point(s) agreed byte-for-byte\n", rep.Overlap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -132,6 +132,26 @@
 // every entry point either recovers bit-identically or fails with a
 // typed error naming the faulting index.
 //
+// # Sharding and merge
+//
+// The same determinism contract — every point a pure function of
+// (key, index) — makes sweeps distributable with no coordination.
+// engine.Shard wraps any engine to run only the indices a shard owns
+// (round-robin i%N==K, or contiguous blocks), bit-identical on the
+// owned subset; a shard that finishes its slice reports the rest
+// through the usual *engine.Partial (Done bitmap = ownership,
+// engine.ErrShardRemainder as the cause), so callers distinguish "my
+// share is done" from a genuine interruption. `oscbench -fig yield
+// -shard k/n -checkpoint y.json` runs one leg on one machine, writing
+// its snapshot to the shard-tagged y.shardKofN.json (the key hash
+// excludes the shard, so all legs address the same study); cmd/oscmerge
+// assembles the legs by point index, failing closed on key mismatches,
+// gaps, or disagreeing overlaps, and its output is byte-identical to an
+// uninterrupted unsharded checkpoint — render it with `-checkpoint
+// y.json -resume`, which re-runs zero dies. The HTTP service accepts
+// the same split ({"shard":k,"of":n} on /v1/yield). CI's shard-merge
+// job replays the whole recipe and diffs against the unsharded run.
+//
 // All of it is servable over HTTP: cmd/oscserve (internal/serve)
 // exposes the figure registry (shared with oscbench via
 // internal/figures), the BER waterfall, the checkpointable yield
@@ -166,7 +186,7 @@
 //   - internal/parallel — the worker-pool primitive behind the batch
 //     evaluators;
 //   - internal/engine — the pluggable evaluation-engine layer
-//     (Serial, WordParallel, Chaos, Limited, registry, chunked
+//     (Serial, WordParallel, Chaos, Limited, Shard, registry, chunked
 //     dispatch) and its enginetest cross-engine equivalence suite;
 //   - internal/figures — the figure registry shared by oscbench and
 //     oscserve;

@@ -168,6 +168,15 @@ func (c *Checkpointer[T]) saveLocked() error {
 // *engine.Partial whose Done bitmap is indexed by point — resuming
 // later with a Load-ed checkpointer re-runs only the gap. On success
 // it returns the complete, index-ordered results.
+//
+// An engine.Shard runs its slice of the sweep: Run filters the missing
+// set by the shard's ownership of the true point index (the dispatch
+// runs over the missing subset, so the shard cannot filter dispatch
+// positions itself — on resume position j is not point j) and
+// dispatches on the shard's inner engine. A shard run that completes
+// every owned point saves them and returns a *engine.Partial wrapping
+// engine.ErrShardRemainder — the snapshot on disk is this shard's
+// durable contribution, reassembled across shards by MergeCheckpoints.
 func (c *Checkpointer[T]) Run(ctx context.Context, e engine.Engine, point func(i int) T) ([]T, error) {
 	if err := engine.Check(e); err != nil {
 		return nil, err
@@ -175,13 +184,21 @@ func (c *Checkpointer[T]) Run(ctx context.Context, e engine.Engine, point func(i
 	if c.Key.N < 0 {
 		return nil, fmt.Errorf("dse: checkpoint key has negative N %d", c.Key.N)
 	}
+	dispatch := e
+	sh, sharded := engine.AsShard(e)
+	if sharded {
+		if err := sh.Validate(); err != nil {
+			return nil, err
+		}
+		dispatch = sh.Inner
+	}
 	c.mu.Lock()
 	if c.results == nil {
 		c.results = make([]*T, c.Key.N)
 	}
 	missing := make([]int, 0, c.Key.N)
 	for i, r := range c.results {
-		if r == nil {
+		if r == nil && (!sharded || sh.Owns(i, c.Key.N)) {
 			missing = append(missing, i)
 		}
 	}
@@ -189,7 +206,7 @@ func (c *Checkpointer[T]) Run(ctx context.Context, e engine.Engine, point func(i
 
 	var firstSaveErr error
 	var saveErrMu sync.Mutex
-	dispatchErr := engine.RunCtx(ctx, e, len(missing), nil, func(j int) {
+	dispatchErr := engine.RunCtx(ctx, dispatch, len(missing), nil, func(j int) {
 		i := missing[j]
 		if err := c.record(i, point(i)); err != nil {
 			saveErrMu.Lock()
@@ -211,15 +228,43 @@ func (c *Checkpointer[T]) Run(ctx context.Context, e engine.Engine, point func(i
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]T, c.Key.N)
+	remainder := false
+	unset := -1
 	for i, r := range c.results {
 		if r == nil {
-			return nil, fmt.Errorf("dse: checkpoint run left point %d unset without an error", i)
+			if sharded && !sh.Owns(i, c.Key.N) {
+				remainder = true
+				continue
+			}
+			unset = i
+			break
 		}
 		out[i] = *r
 	}
+	c.mu.Unlock()
+	if unset >= 0 {
+		return nil, fmt.Errorf("dse: checkpoint run left point %d unset without an error", unset)
+	}
+	if remainder {
+		return nil, c.partial(engine.ErrShardRemainder)
+	}
 	return out, nil
+}
+
+// Results returns a copy of the per-point snapshot state: entry i is
+// nil while point i has not completed, valid otherwise. Shard-aware
+// callers (the serve layer) use it to report the owned slice a
+// remainder run produced.
+func (c *Checkpointer[T]) Results() []*T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.results == nil {
+		return make([]*T, c.Key.N)
+	}
+	out := make([]*T, len(c.results))
+	copy(out, c.results)
+	return out
 }
 
 // partial translates a dispatch error (whose Done bitmap indexes the

@@ -81,4 +81,24 @@
 // bit-for-bit) and under an injected panic (must surface a typed
 // error or panic that names the fault — silently swallowing it fails
 // the suite).
+//
+// # Sharding
+//
+// Index-derived randomness also makes sweeps distributable: because
+// item i's result never depends on which process ran it, a sweep can
+// split across machines by index alone. Shard{K, N, Inner} wraps any
+// engine and dispatches only the indices shard K of N owns (i%N == K,
+// or contiguous blocks with Contiguous), bit-identical to the full
+// run on the owned subset. A shard deliberately breaks exactly-once
+// over [0, n) — it is exactly-once over its slice — so its ctx
+// dispatch reports the unowned remainder through the normal Partial
+// machinery with ErrShardRemainder as the cause and the Done bitmap
+// equal to ownership; callers (dse.Checkpointer, oscbench -shard,
+// /v1/yield's shard/of fields) treat that as "my share is complete"
+// and assemble shards back into a full study with cmd/oscmerge or
+// ShardUnion. The registered "sharded" engine is a ShardUnion of
+// three round-robin shards over WordParallel: the union restores
+// exactly-once coverage, so it passes the full enginetest suite —
+// gapped or overlapping unions are the teeth fixtures that prove the
+// suite would catch a wrong split.
 package engine

@@ -201,6 +201,40 @@ func (lossyEngine) ForWorker(n, _ int, fn func(worker, i int)) {
 	}
 }
 
+// mustUnion builds a shard union for the fixture engines below; the
+// specs are static, so a constructor error is a programming bug.
+func mustUnion(name string, shards ...engine.Shard) engine.Engine {
+	u, err := engine.NewShardUnion(name, shards...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// GappedShards is a deliberately incomplete shard composition: shards
+// 0/3 and 2/3 without 1/3, the distributed-run failure mode of a shard
+// that never ran (or a merge that accepted a gap). Indices owned by
+// the missing shard stay zero-valued, so Run must flag it — the same
+// divergence oscmerge's missing-index check fails closed on. Not in
+// the registry; see TestSuiteCatchesGappedShards.
+var GappedShards engine.Engine = mustUnion("gapped-shards",
+	engine.Shard{K: 0, N: 3, Inner: engine.Serial},
+	engine.Shard{K: 2, N: 3, Inner: engine.Serial},
+)
+
+// OverlapShards is the complementary broken composition: shard 0/3
+// appears twice, so its indices run twice — the double-execution a
+// merge of overlapping-but-disagreeing checkpoints would paper over.
+// Any case that accumulates (the worker-scratch pattern) diverges, so
+// Run must flag it. Not in the registry; see
+// TestSuiteCatchesOverlappingShards.
+var OverlapShards engine.Engine = mustUnion("overlap-shards",
+	engine.Shard{K: 0, N: 3, Inner: engine.Serial},
+	engine.Shard{K: 0, N: 3, Inner: engine.Serial},
+	engine.Shard{K: 1, N: 3, Inner: engine.Serial},
+	engine.Shard{K: 2, N: 3, Inner: engine.Serial},
+)
+
 // Swallow is the second deliberately broken Engine: it recovers and
 // discards any panic a work item raises, then carries on — the
 // anti-pattern the panic-propagation contract forbids (a fault

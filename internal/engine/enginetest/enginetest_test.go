@@ -87,6 +87,46 @@ func TestSuiteCatchesLossyEngine(t *testing.T) {
 	}
 }
 
+// TestSuiteCatchesGappedShards: a shard family with a missing member
+// leaves its indices zero-valued and must diverge from the serial
+// reference — the suite-side proof that a gapped distributed run (or
+// a merge that accepted one) cannot pass silently.
+func TestSuiteCatchesGappedShards(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, []engine.Engine{GappedShards}, suiteCases())
+	if len(rec.failures) == 0 {
+		t.Fatal("suite accepted a gapped shard union; it has no teeth")
+	}
+	found := false
+	for _, f := range rec.failures {
+		if strings.Contains(f, `"gapped-shards"`) && strings.Contains(f, "diverges") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("gapped shard union not flagged; failures: %v", rec.failures)
+	}
+}
+
+// TestSuiteCatchesOverlappingShards: a family with a duplicated member
+// runs its indices twice; the accumulating worker-scratch case must
+// diverge, proving overlap cannot reassemble silently either.
+func TestSuiteCatchesOverlappingShards(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, []engine.Engine{OverlapShards}, suiteCases())
+	found := false
+	for _, f := range rec.failures {
+		if strings.Contains(f, `"overlap-shards"`) && strings.Contains(f, "worker-scratch-sum") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("overlapping shard union not flagged; failures: %v", rec.failures)
+	}
+}
+
 // TestRegisteredEnginesPassChaosSuite: every registered engine (the
 // built-ins plus the registered chaos wrapper) recovers bit-identically
 // from drop/delay faults and fails typed under injected panics.

@@ -9,6 +9,7 @@ package figures
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -34,6 +35,11 @@ type Config struct {
 	// Resume loads it first and re-runs only the missing dies.
 	Checkpoint string
 	Resume     bool
+	// ShardK/ShardN, when ShardN > 0, run only the yield dies shard
+	// ShardK of ShardN owns (round-robin by die index), snapshotting
+	// them to a shard-tagged checkpoint file for a later oscmerge.
+	// Requires Checkpoint — a shard's output is its snapshot.
+	ShardK, ShardN int
 	// Engine dispatches every sweep a renderer runs; nil means
 	// engine.Default(). (Entry points without an engine parameter
 	// always use the process default.)
@@ -56,6 +62,11 @@ func (c Config) Validate() error {
 	}
 	if c.Samples < 1 {
 		return fmt.Errorf("-samples %d: need >= 1 die per sigma", c.Samples)
+	}
+	if c.ShardN != 0 || c.ShardK != 0 {
+		if err := (engine.Shard{K: c.ShardK, N: c.ShardN, Inner: engine.Serial}).Validate(); err != nil {
+			return fmt.Errorf("-shard %d/%d: shard index must be in [0, n) with n >= 1", c.ShardK, c.ShardN)
+		}
 	}
 	return nil
 }
@@ -296,22 +307,50 @@ func YieldStudySpec(samples int) dse.YieldStudy {
 // snapshot to disk (and survive SIGINT); with Resume a matching
 // snapshot is loaded first and only the missing dies re-run — the
 // reassembled figure is bit-identical to an uninterrupted run.
+//
+// With ShardN > 0 the run computes only shard ShardK's dies into a
+// shard-tagged snapshot (dse.ShardCheckpointPath) and reports its
+// progress instead of a table; merging the family's snapshots with
+// oscmerge yields a complete checkpoint any unsharded -resume run
+// renders byte-identical to a run that never sharded.
 func renderYieldStudy(ctx context.Context, w io.Writer, cfg Config) error {
 	s := YieldStudySpec(cfg.Samples)
+	sharded := cfg.ShardN > 0
+	if sharded && cfg.Checkpoint == "" {
+		return fmt.Errorf("sharded yield run needs a checkpoint file: shard %d/%d's output is its snapshot", cfg.ShardK, cfg.ShardN)
+	}
 	var points []dse.YieldPoint
 	var err error
 	if cfg.Checkpoint != "" {
-		cp := dse.NewCheckpointer[core.DieOutcome](cfg.Checkpoint, yieldCheckpointEvery, s.Key())
+		path := cfg.Checkpoint
+		eng := cfg.engine()
+		if sharded {
+			path = dse.ShardCheckpointPath(cfg.Checkpoint, cfg.ShardK, cfg.ShardN)
+			eng = engine.Shard{K: cfg.ShardK, N: cfg.ShardN, Inner: eng}
+		}
+		cp := dse.NewCheckpointer[core.DieOutcome](path, yieldCheckpointEvery, s.Key())
 		if cfg.Resume {
 			restored, lerr := cp.Load()
 			if lerr != nil {
 				return lerr
 			}
-			if _, perr := fmt.Fprintf(w, "resumed %d/%d dies from %s\n", restored, s.N(), cfg.Checkpoint); perr != nil {
+			if _, perr := fmt.Fprintf(w, "resumed %d/%d dies from %s\n", restored, s.N(), path); perr != nil {
 				return perr
 			}
 		}
-		points, err = s.RunCheckpointed(ctx, cfg.engine(), cp)
+		points, err = s.RunCheckpointed(ctx, eng, cp)
+		if sharded && errors.Is(err, engine.ErrShardRemainder) {
+			// This shard's slice is complete and on disk — the expected
+			// end state of a distributed leg, not a failure.
+			completed := 0
+			var p *engine.Partial
+			if errors.As(err, &p) {
+				completed = p.Completed
+			}
+			_, werr := fmt.Fprintf(w, "shard %d/%d: %d/%d dies complete in %s; assemble the study with oscmerge, then render with -checkpoint <merged> -resume\n",
+				cfg.ShardK, cfg.ShardN, completed, s.N(), path)
+			return werr
+		}
 	} else {
 		points, err = s.RunCtx(ctx, cfg.engine())
 	}

@@ -103,8 +103,12 @@ func runSuiteCheck(p *Package) []Finding {
 	return out
 }
 
-// hasEngineParam reports whether the declaration takes a parameter of
-// the internal/engine Engine interface type.
+// hasEngineParam reports whether the declaration takes a parameter
+// that dispatches on the engine layer: the Engine interface itself or
+// any concrete internal/engine type implementing it (engine.Shard,
+// *engine.Chaos, ...). Concrete wrappers count because an entry point
+// taking one fans work out exactly like an interface-typed one — its
+// closures are worker bodies the suite must cross-check.
 func hasEngineParam(p *Package, fd *ast.FuncDecl) bool {
 	if fd.Type.Params == nil {
 		return false
@@ -114,15 +118,43 @@ func hasEngineParam(p *Package, fd *ast.FuncDecl) bool {
 		if !ok {
 			continue
 		}
-		named, ok := tv.Type.(*types.Named)
-		if !ok {
-			continue
-		}
-		if obj := named.Obj(); obj.Name() == "Engine" && pkgSuffixIs(obj, "internal/engine") {
+		if isEngineType(tv.Type) {
 			return true
 		}
 	}
 	return false
+}
+
+// isEngineType reports whether t is the internal/engine Engine
+// interface or an internal/engine named type (or pointer to one)
+// implementing it.
+func isEngineType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		ptr, isPtr := t.(*types.Pointer)
+		if !isPtr {
+			return false
+		}
+		if named, ok = ptr.Elem().(*types.Named); !ok {
+			return false
+		}
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pkgSuffixIs(obj, "internal/engine") {
+		return false
+	}
+	if obj.Name() == "Engine" {
+		return true
+	}
+	ifaceObj := obj.Pkg().Scope().Lookup("Engine")
+	if ifaceObj == nil {
+		return false
+	}
+	iface, ok := ifaceObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
 }
 
 // suiteFiles returns the package's test files that call enginetest.Run

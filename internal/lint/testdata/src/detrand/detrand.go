@@ -88,6 +88,29 @@ func GoodEngineSeed(e engine.Engine, n int, seed uint64) []float64 {
 	return out
 }
 
+// BadShardSeed constructs an underived per-item RNG inside a
+// shard-filtered dispatch: engine.Shard.For only narrows which indices
+// run, so its closures are worker bodies under the same discipline.
+func BadShardSeed(e engine.Engine, n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	engine.Shard{K: 0, N: 2, Inner: e}.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(seed + uint64(i)) // want detrand
+		out[i] = rng.Next()
+	})
+	return out
+}
+
+// GoodShardSeed derives per-item seeds on the sharded dispatch path —
+// the property that makes shard outputs reassemble bit-identically.
+func GoodShardSeed(e engine.Engine, n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	engine.Shard{K: 0, N: 2, Inner: e}.For(n, func(i int) {
+		rng := stochastic.NewSplitMix64(stochastic.DeriveSeed(seed, i))
+		out[i] = rng.Next()
+	})
+	return out
+}
+
 // BadCtxSeed constructs an underived per-item RNG inside a
 // cancellable dispatch: engine.RunCtx stops early but never re-runs
 // an item, so its closures obey the same discipline as Engine.For.

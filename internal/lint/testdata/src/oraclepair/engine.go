@@ -28,6 +28,23 @@ func MentionedOn(e engine.Engine, n int) []int { // want oraclepair
 	return out
 }
 
+// ShardedOn takes a concrete engine wrapper rather than the Engine
+// interface — it still fans work out, so the suite check applies, and
+// nothing registers it.
+func ShardedOn(sh engine.Shard, n int) []int { // want oraclepair
+	out := make([]int, n)
+	sh.For(n, func(i int) { out[i] = i * 5 })
+	return out
+}
+
+// RegisteredShardedOn is the conforming concrete-wrapper entry point:
+// engine_test.go registers it into the cross-engine suite.
+func RegisteredShardedOn(sh engine.Shard, n int) []int {
+	out := make([]int, n)
+	sh.For(n, func(i int) { out[i] = i * 7 })
+	return out
+}
+
 // unexportedOn is below the rule's scope: unexported entry points are
 // implementation detail.
 func unexportedOn(e engine.Engine, n int) []int {

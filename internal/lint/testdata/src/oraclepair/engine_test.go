@@ -14,5 +14,10 @@ func TestEngineSuite(t *testing.T) {
 	enginetest.Run(t, nil, []enginetest.Case{{
 		Name: "oraclepair.RegisteredOn",
 		Eval: func(e engine.Engine) (any, error) { return RegisteredOn(e, 8), nil },
+	}, {
+		Name: "oraclepair.RegisteredShardedOn",
+		Eval: func(e engine.Engine) (any, error) {
+			return RegisteredShardedOn(engine.Shard{K: 0, N: 1, Inner: e}, 8), nil
+		},
 	}})
 }

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/engine"
 	"repro/internal/figures"
 	"repro/internal/transient"
 )
@@ -112,13 +114,20 @@ func validateBER(req berRequest) error {
 
 // yieldRequest is the POST /v1/yield body: the checkpointable
 // process-variation campaign. Zero fields take the standard study
-// shape (figures.YieldStudySpec).
+// shape (figures.YieldStudySpec). With "of" > 0 the request runs one
+// shard of a horizontally partitioned campaign: only the dies shard
+// "shard" of "of" owns (round-robin by die index) are computed, and
+// the response carries the per-die outcomes with shard attribution
+// instead of folded sigma rows — reassembled client-side (or via
+// oscmerge on the server's shard-tagged checkpoints).
 type yieldRequest struct {
 	SigmasNM  []float64 `json:"sigmas_nm,omitempty"`
 	Samples   int       `json:"samples,omitempty"`
 	Seed      uint64    `json:"seed,omitempty"`
 	TargetBER float64   `json:"target_ber,omitempty"`
 	TimeoutMS int64     `json:"timeout_ms,omitempty"`
+	Shard     int       `json:"shard,omitempty"`
+	Of        int       `json:"of,omitempty"`
 }
 
 // yieldPoint is one sigma row, flattened with explicit tags.
@@ -141,9 +150,31 @@ type yieldBody struct {
 	Points    []yieldPoint `json:"points"`
 }
 
+// yieldShardDie is one computed die of a shard response, attributed by
+// its study-wide index so clients can reassemble shards by position.
+type yieldShardDie struct {
+	Index   int             `json:"index"`
+	Outcome core.DieOutcome `json:"outcome"`
+}
+
+// yieldShardBody is the success response of a sharded yield request:
+// shard attribution plus the owned dies. Like yieldBody it carries no
+// run-history fields — a shard served from a resumed checkpoint is
+// byte-identical to one computed in a single pass.
+type yieldShardBody struct {
+	Seed      uint64          `json:"seed"`
+	TargetBER float64         `json:"target_ber"`
+	Shard     int             `json:"shard"`
+	Of        int             `json:"of"`
+	N         int             `json:"n"`
+	Completed int             `json:"completed"`
+	Dies      []yieldShardDie `json:"dies"`
+}
+
 const (
 	maxYieldSigmas  = 16
 	maxYieldSamples = 1_000_000
+	maxYieldShards  = 64
 )
 
 func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
@@ -169,8 +200,40 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Kind: "bad_request"})
 		return
 	}
+	if err := validateYieldShard(req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Kind: "bad_request"})
+		return
+	}
 
 	key := study.Key()
+	if req.Of > 0 {
+		// The cache key extends the study's content hash with the shard
+		// spec: shards of one study share the key family (the study hash)
+		// but cache independently.
+		ck := fmt.Sprintf("%s|shard=%d/%d", key.Hash(), req.Shard, req.Of)
+		s.runCached(w, r, ck, req.TimeoutMS, func(ctx context.Context) (entry, error) {
+			dies, err := s.runYieldShard(ctx, study, key, req.Shard, req.Of)
+			if err != nil {
+				return entry{}, err
+			}
+			body := yieldShardBody{
+				Seed:      study.Seed,
+				TargetBER: study.TargetBER,
+				Shard:     req.Shard,
+				Of:        req.Of,
+				N:         key.N,
+				Dies:      []yieldShardDie{},
+			}
+			for i, d := range dies {
+				if d != nil {
+					body.Completed++
+					body.Dies = append(body.Dies, yieldShardDie{Index: i, Outcome: *d})
+				}
+			}
+			return jsonEntry(body)
+		})
+		return
+	}
 	s.runCached(w, r, key.Hash(), req.TimeoutMS, func(ctx context.Context) (entry, error) {
 		points, err := s.runYield(ctx, study, key)
 		if err != nil {
@@ -206,6 +269,66 @@ func (s *Server) runYield(ctx context.Context, study dse.YieldStudy, key dse.Che
 		return nil, err
 	}
 	return study.RunCheckpointed(ctx, s.eng, cp)
+}
+
+// runYieldShard computes shard k of n of the study, returning the
+// per-die results indexed by study position (nil for dies the shard
+// does not own). With a checkpoint directory the shard persists to its
+// own shard-tagged snapshot — same content key as the study, so the
+// file family merges with oscmerge — and a drained or crashed shard
+// resumes on retry exactly like the unsharded path.
+func (s *Server) runYieldShard(ctx context.Context, study dse.YieldStudy, key dse.CheckpointKey, k, n int) ([]*core.DieOutcome, error) {
+	sh := engine.Shard{K: k, N: n, Inner: s.eng}
+	if s.cfg.CheckpointDir == "" {
+		dies, err := dse.SweepCtx(ctx, sh, key.N, study.Die)
+		out := make([]*core.DieOutcome, key.N)
+		var p *engine.Partial
+		switch {
+		case err == nil:
+			for i := range dies {
+				d := dies[i]
+				out[i] = &d
+			}
+		case errors.As(err, &p) && errors.Is(err, engine.ErrShardRemainder):
+			for i, done := range p.Done {
+				if done {
+					d := dies[i]
+					out[i] = &d
+				}
+			}
+		default:
+			return nil, err
+		}
+		return out, nil
+	}
+	path := dse.ShardCheckpointPath(filepath.Join(s.cfg.CheckpointDir, "yield-"+key.Hash()[:16]+".json"), k, n)
+	cp := dse.NewCheckpointer[core.DieOutcome](path, s.cfg.CheckpointEvery, key)
+	if _, err := cp.Load(); err != nil {
+		return nil, err
+	}
+	if _, err := cp.Run(ctx, sh, study.Die); err != nil && !errors.Is(err, engine.ErrShardRemainder) {
+		return nil, err
+	}
+	return cp.Results(), nil
+}
+
+// validateYieldShard checks the optional shard fields: "shard" without
+// "of" is a loud error (never a silently unsharded run), and a spec
+// must satisfy 0 <= shard < of within the shard cap.
+func validateYieldShard(req yieldRequest) error {
+	if req.Of == 0 {
+		if req.Shard != 0 {
+			return fmt.Errorf("shard %d without of: set of to the total shard count", req.Shard)
+		}
+		return nil
+	}
+	if req.Of < 1 || req.Of > maxYieldShards {
+		return fmt.Errorf("of %d: need 1..%d shards", req.Of, maxYieldShards)
+	}
+	if req.Shard < 0 || req.Shard >= req.Of {
+		return fmt.Errorf("shard %d: need in [0, %d)", req.Shard, req.Of)
+	}
+	return nil
 }
 
 func validateYield(study dse.YieldStudy) error {

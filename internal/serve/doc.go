@@ -10,8 +10,9 @@
 //	GET  /v1/figures         figure registry listing (sorted by key)
 //	POST /v1/figures/{key}   render one figure; body {grid, sweep, samples, timeout_ms}
 //	POST /v1/ber             BER waterfall; body {probe_mw[] | target_ber[], bits, seed, timeout_ms}
-//	POST /v1/yield           process-variation yield study (checkpointable);
-//	                         body {sigmas_nm[], samples, seed, target_ber, timeout_ms}
+//	POST /v1/yield           process-variation yield study (checkpointable,
+//	                         shardable); body {sigmas_nm[], samples, seed,
+//	                         target_ber, timeout_ms, shard, of}
 //	POST /v1/image/gamma     stochastic gamma correction; body {source, gamma, degree,
 //	                         spacing_nm, stream_len, seed, format, timeout_ms}
 //	POST /v1/image/edge      stochastic Roberts-cross edge detection; same body minus
@@ -62,6 +63,24 @@
 // idempotent: a retry with the same body either hits the cache
 // (X-Cache: hit, byte-identical body) or recomputes the same bytes.
 // 503s are always safe to retry after Retry-After seconds.
+//
+// # Sharding and merge
+//
+// A yield study splits across servers with no coordination: POST the
+// same body to each with {"shard": k, "of": n} and server k computes
+// only the dies with index%n == k (engine.Shard over the shared
+// engine), answering a shard-attributed body — {seed, target_ber,
+// shard, of, n, completed, dies:[{index, outcome}]} — instead of the
+// folded per-sigma points. Because every die is a pure function of
+// (key, index), the union of the n responses reassembles the
+// unsharded study bit-identically; the shard tests fold them back and
+// diff. Shard responses cache independently (the shard spec extends
+// the content address), and with Config.CheckpointDir set each shard
+// persists the same shard-tagged snapshot oscbench's -shard flag
+// writes (yield-<hash>.shardKofN.json), mergeable offline with
+// cmd/oscmerge. Malformed specs (shard without of, shard out of
+// [0,of), of outside 1..64) are 400 bad_request, never a silently
+// unsharded run.
 //
 // # Shutdown
 //
